@@ -1,0 +1,124 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (Figures 3-14 plus the Section 5.6.2 parameter-space
+// checks), writing text tables and CSV series under an output directory.
+//
+// Usage:
+//
+//	figures [-out figures] [-only fig3,fig9] [-quick] [-seed N] [-clients]
+//
+// Full mode uses the recorded experiment durations (30s warmup + 120s
+// measured virtual time per run); -quick cuts both for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	outDir := flag.String("out", "figures", "output directory")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	quick := flag.Bool("quick", false, "short runs (smoke mode)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	clients := flag.Bool("clients", false, "also run the client-scaling experiment")
+	detail := flag.Bool("detail", true, "write per-run detail files")
+	flag.Parse()
+
+	opts := experiments.DefaultOpts()
+	if *quick {
+		opts = experiments.QuickOpts()
+	}
+	opts.Seed = *seed
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	// Figure 5 is analytic.
+	if want("fig5") {
+		probs := []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}
+		txt := experiments.RenderFig5(probs)
+		fmt.Println(txt)
+		write(*outDir, "fig5.txt", txt)
+		write(*outDir, "fig5.csv", experiments.Fig5CSV(probs))
+	}
+
+	sweeps := experiments.Catalogue()
+	if *clients {
+		sweeps = append(sweeps, experiments.ClientScalingSweep(0.1, []int{1, 5, 10, 15, 20, 25})...)
+	}
+	start := time.Now()
+	for _, s := range sweeps {
+		if !want(s.ID) {
+			continue
+		}
+		sStart := time.Now()
+		res := s.Run(opts, func(msg string) {
+			fmt.Fprintf(os.Stderr, "\r%-60s", msg)
+		})
+		fmt.Fprintf(os.Stderr, "\r%-60s\n", fmt.Sprintf("%s done in %v", s.ID, time.Since(sStart).Round(time.Millisecond)))
+		txt := res.Render()
+		fmt.Println(txt)
+		write(*outDir, s.ID+".txt", txt)
+		write(*outDir, s.ID+".csv", res.CSV())
+		if *detail {
+			write(*outDir, s.ID+"_detail.txt", res.Detail())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "all experiments done in %v; outputs in %s/\n",
+		time.Since(start).Round(time.Second), *outDir)
+
+	// Table 1 / Table 2 are parameter tables; emit them for completeness.
+	if want("tab1") || len(selected) == 0 {
+		write(*outDir, "tab1.txt", table1())
+	}
+}
+
+func table1() string {
+	return `Table 1 — system and overhead parameter settings (see DESIGN.md §3)
+ClientCPU          15 MIPS
+ServerCPU          30 MIPS
+ClientBufSize      25% of DB
+ServerBufSize      50% of DB
+ServerDisks        2
+Min/MaxDiskTime    10/30 ms
+NetworkBandwidth   80 Mbps
+NumClients         10
+PageSize           4096 bytes
+DatabaseSize       1250 pages
+ObjectsPerPage     20
+FixedMsgInst       20000
+PerByteMsgInst     10000 per 4KB
+ControlMsgSize     256 bytes
+LockInst           300  [reconstructed]
+RegisterCopyInst   300
+DiskOverheadInst   5000 [reconstructed]
+CopyMergeInst      300 per object
+ObjInst            10000 per object read, x2 for writes [reconstructed]
+`
+}
+
+func write(dir, name, content string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Command oodbserver runs a live page-server OODBMS over TCP.
+//
+// Usage:
+//
+//	oodbserver -dir /var/lib/oodb -addr :7090 -proto PS-AA -pages 1250
+//
+// Clients connect with repro.Dial (or cmd/oodbbench). The database is
+// created on first start and recovered from the write-ahead log on every
+// start.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+func main() {
+	dir := flag.String("dir", "oodb-data", "database directory")
+	addr := flag.String("addr", "127.0.0.1:7090", "TCP listen address")
+	proto := flag.String("proto", "PS-AA", "PS | OS | PS-OO | PS-OA | PS-AA")
+	pages := flag.Int("pages", 1250, "database size in pages (creation only)")
+	objsPerPage := flag.Int("objs", 20, "objects per page (creation only)")
+	pageSize := flag.Int("pagesize", 4096, "page size in bytes (creation only)")
+	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
+	flag.Parse()
+
+	p, ok := core.ParseProtocol(*proto)
+	if !ok {
+		fatal(fmt.Errorf("unknown protocol %q", *proto))
+	}
+	srv, err := live.OpenServer(*dir, live.ServerOptions{
+		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
+		SyncWAL: !*noSync,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	np, opp, osz := srv.Geometry()
+	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each)\n",
+		p, *addr, np, opp, osz)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\noodbserver: shutting down")
+		st := srv.Stats()
+		fmt.Printf("stats: reads=%d writes=%d commits=%d aborts=%d callbacks=%d deadlocks=%d\n",
+			st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Callbacks, st.Deadlocks)
+		srv.Close()
+		os.Exit(0)
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oodbserver:", err)
+	os.Exit(1)
+}

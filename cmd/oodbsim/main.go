@@ -1,0 +1,108 @@
+// Command oodbsim runs a single OODBMS simulation with fully
+// parameterized workload and system settings and prints the result, with
+// an optional comparison across all five protocols.
+//
+// Examples:
+//
+//	oodbsim -workload HOTCOLD -proto PS-AA -writeprob 0.1
+//	oodbsim -workload UNIFORM -locality high -writeprob 0.2 -compare
+//	oodbsim -workload PRIVATE -writeprob 0.3 -clients 20 -measure 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "HOTCOLD", "HOTCOLD | UNIFORM | HICON | PRIVATE | INTERLEAVED-PRIVATE")
+	proto := flag.String("proto", "PS-AA", "PS | OS | PS-OO | PS-OA | PS-AA")
+	locality := flag.String("locality", "low", "low (30 pages, 1-7 obj) | high (10 pages, 8-16 obj)")
+	writeProb := flag.Float64("writeprob", 0.1, "per-object write probability")
+	clients := flag.Int("clients", workload.DefaultNumClients, "number of client workstations")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	warmup := flag.Float64("warmup", 30, "warmup virtual seconds")
+	measure := flag.Float64("measure", 120, "measured virtual seconds")
+	netMbps := flag.Float64("net", 80, "network bandwidth in Mbps")
+	scale := flag.Int("scale", 1, "database scale factor (txn size scales by sqrt-ish rule: x3 at x9)")
+	compare := flag.Bool("compare", false, "run all five protocols and print a comparison")
+	verbose := flag.Bool("v", false, "print detailed metrics")
+	flag.Parse()
+
+	loc := workload.LowLocality
+	if *locality == "high" {
+		loc = workload.HighLocality
+	}
+	var spec workload.Spec
+	switch *wl {
+	case "HOTCOLD":
+		spec = workload.HotColdSpec(loc, *writeProb)
+	case "UNIFORM":
+		spec = workload.UniformSpec(loc, *writeProb)
+	case "HICON":
+		spec = workload.HiConSpec(loc, *writeProb)
+	case "PRIVATE":
+		spec = workload.PrivateSpec(loc, *writeProb)
+	case "INTERLEAVED-PRIVATE":
+		spec = workload.InterleavedPrivateSpec(*writeProb)
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+	spec.NumClients = *clients
+	if *scale == 9 {
+		spec = workload.Scale(spec, 9, 3)
+	} else if *scale != 1 {
+		spec = workload.Scale(spec, *scale, 1)
+	}
+
+	protos := core.Protocols
+	if !*compare {
+		p, ok := core.ParseProtocol(*proto)
+		if !ok {
+			fatal(fmt.Errorf("unknown protocol %q", *proto))
+		}
+		protos = []core.Protocol{p}
+	}
+
+	fmt.Printf("workload=%s locality=%s writeProb=%.3f clients=%d db=%d pages seed=%d\n\n",
+		spec.Kind, loc, *writeProb, spec.NumClients, spec.DBPages, *seed)
+	fmt.Printf("%-6s %10s %8s %9s %8s %8s %9s %8s %8s %8s\n",
+		"proto", "tput(t/s)", "±90%CI", "resp(ms)", "commits", "aborts", "msgs/c", "srvCPU", "disk", "net")
+	for _, p := range protos {
+		cfg := model.DefaultConfig(p, spec)
+		cfg.Seed = *seed
+		cfg.Warmup = *warmup
+		cfg.Measure = *measure
+		cfg.NetworkMbps = *netMbps
+		res := model.Run(cfg)
+		fmt.Printf("%-6s %10.2f %8.2f %9.1f %8d %8d %9.1f %8.2f %8.2f %8.2f\n",
+			p, res.Throughput, res.ThroughputCI, res.RespTime.Mean()*1000,
+			res.Commits, res.Aborts, res.MsgsPerCommit,
+			res.ServerCPUUtil, res.DiskUtil, res.NetUtil)
+		if *verbose {
+			fmt.Printf("       deadlocks=%d callbacks=%d busy=%d deesc=%d pageGrants=%d objGrants=%d blocks=%d\n",
+				res.Deadlocks, res.Callbacks, res.BusyReplies, res.Deescalations,
+				res.PageGrants, res.ObjGrants, res.Blocks)
+			fmt.Printf("       bufHits=%d bufMisses=%d writebacks=%d clientEvictions=%d bytes=%d\n",
+				res.ServerBufHits, res.ServerBufMisses, res.ServerWritebacks,
+				res.ClientEvictions, res.MsgBytes)
+			for _, k := range []core.MsgKind{core.MReadReq, core.MWriteReq, core.MCommitReq,
+				core.MCallback, core.MCallbackAck, core.MPageData, core.MObjData, core.MGrant,
+				core.MDeescReq, core.MDeescReply} {
+				if n := res.MsgByKind[k]; n > 0 {
+					fmt.Printf("       msg %-12s %d\n", k, n)
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oodbsim:", err)
+	os.Exit(1)
+}

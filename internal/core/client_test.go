@@ -1,0 +1,256 @@
+package core
+
+import "testing"
+
+func newCS(proto Protocol) *ClientState {
+	cap := 16
+	if proto == OS {
+		cap = 16 * 20
+	}
+	return NewClientState(1, proto, cap)
+}
+
+func TestClientNeedForReadPerProtocol(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	for _, proto := range Protocols {
+		cs := newCS(proto)
+		cs.Begin(1)
+		if cs.NeedForRead(obj) == nil {
+			t.Fatalf("%v: cold cache should need a read", proto)
+		}
+		if proto == OS {
+			cs.Cache.InstallObj(obj)
+		} else {
+			cs.Cache.InstallPage(obj.Page, nil)
+		}
+		if cs.NeedForRead(obj) != nil {
+			t.Fatalf("%v: cached object should be local", proto)
+		}
+		if proto != OS {
+			cs.Cache.MarkUnavailable(obj)
+			if cs.NeedForRead(obj) == nil {
+				t.Fatalf("%v: unavailable object should need a read", proto)
+			}
+		}
+	}
+}
+
+func TestClientWriteRequestShape(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	for _, proto := range Protocols {
+		cs := newCS(proto)
+		cs.Begin(1)
+		m := cs.NeedForWrite(obj)
+		if m == nil || m.Kind != MWriteReq || !m.WantData {
+			t.Fatalf("%v: cold write should request data: %+v", proto, m)
+		}
+		// With the data present, WantData should drop.
+		if proto == OS {
+			cs.Cache.InstallObj(obj)
+		} else {
+			cs.Cache.InstallPage(obj.Page, nil)
+		}
+		m = cs.NeedForWrite(obj)
+		if m == nil || m.WantData {
+			t.Fatalf("%v: warm write should not request data: %+v", proto, m)
+		}
+	}
+}
+
+func TestClientLocalWritePermission(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	other := ObjID{Page: 2, Slot: 9}
+
+	// PS: page grant covers every object on the page.
+	cs := newCS(PS)
+	cs.Begin(1)
+	cs.Cache.InstallPage(2, nil)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantPage, Page: 2, Obj: obj})
+	if cs.NeedForWrite(obj) != nil || cs.NeedForWrite(other) != nil {
+		t.Fatal("PS: page X should cover the whole page")
+	}
+
+	// PS-OO: object grant covers only that object.
+	cs = newCS(PSOO)
+	cs.Begin(1)
+	cs.Cache.InstallPage(2, nil)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantObject, Page: 2, Obj: obj})
+	if cs.NeedForWrite(obj) != nil {
+		t.Fatal("PS-OO: object X not recorded")
+	}
+	if cs.NeedForWrite(other) == nil {
+		t.Fatal("PS-OO: object X must not cover neighbors")
+	}
+
+	// PS-AA: either level works.
+	cs = newCS(PSAA)
+	cs.Begin(1)
+	cs.Cache.InstallPage(2, nil)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantObject, Page: 2, Obj: obj})
+	if cs.NeedForWrite(obj) != nil {
+		t.Fatal("PS-AA: object X not recorded")
+	}
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantPage, Page: 2, Obj: other})
+	if cs.NeedForWrite(other) != nil || !cs.HoldsPageX(2) {
+		t.Fatal("PS-AA: page grant not recorded")
+	}
+	if cs.HoldsObjX(obj) {
+		t.Fatal("PS-AA: page grant should absorb own object locks")
+	}
+}
+
+func TestClientDeescalationPreservesPendingWrite(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	cs := newCS(PSAA)
+	cs.Begin(1)
+	cs.Cache.InstallPage(2, []uint16{3}) // 2.3 unavailable (stale)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantPage, Page: 2, Obj: ObjID{Page: 2, Slot: 0}})
+	cs.RecordWrite(ObjID{Page: 2, Slot: 0})
+	// Intent to write the stale object; the driver would now refetch.
+	cs.StartWrite(obj)
+	if !cs.NeedsRefetch(obj) {
+		t.Fatal("stale object should need a refetch")
+	}
+	reply := cs.HandleDeescReq(&Msg{Kind: MDeescReq, Page: 2})
+	found := false
+	for _, o := range reply.DeescObjs {
+		if o == obj {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("de-escalation dropped the pending write: %v", reply.DeescObjs)
+	}
+	if cs.HoldsPageX(2) {
+		t.Fatal("page X should be released by de-escalation")
+	}
+	if !cs.HoldsObjX(obj) || !cs.HoldsObjX(ObjID{Page: 2, Slot: 0}) {
+		t.Fatal("object locks missing after de-escalation")
+	}
+	// The write completes under the converted object lock.
+	if cs.NeedForWrite(obj) != nil {
+		t.Fatal("write should be local after conversion")
+	}
+}
+
+func TestClientDeescWhenNotHeld(t *testing.T) {
+	cs := newCS(PSAA)
+	reply := cs.HandleDeescReq(&Msg{Kind: MDeescReq, Page: 7})
+	if len(reply.DeescObjs) != 0 {
+		t.Fatal("inactive client should reply empty")
+	}
+}
+
+func TestClientCommitLifecycle(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	cs := newCS(PSAA)
+	cs.Begin(5)
+	cs.Cache.InstallPage(2, nil)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantPage, Page: 2, Obj: obj})
+	cs.RecordWrite(obj)
+	m := cs.BuildCommit()
+	if len(m.Pages) != 1 || m.Pages[0] != 2 {
+		t.Fatalf("commit pages = %v", m.Pages)
+	}
+	acks := cs.OnCommitAck()
+	if len(acks) != 0 {
+		t.Fatalf("unexpected deferred acks: %v", acks)
+	}
+	if cs.Active() {
+		t.Fatal("transaction should be over")
+	}
+	if cs.Cache.DirtyObjCount(2) != 0 {
+		t.Fatal("dirty state survived commit")
+	}
+	if !cs.Cache.HasPage(2) {
+		t.Fatal("cache lost at commit")
+	}
+}
+
+func TestClientAbortPurgesAndAcks(t *testing.T) {
+	obj := ObjID{Page: 2, Slot: 3}
+	readPage := PageID(4)
+	cs := newCS(PSAA)
+	cs.Begin(5)
+	cs.Cache.InstallPage(2, nil)
+	cs.Cache.InstallPage(readPage, nil)
+	cs.RecordRead(ObjID{Page: readPage, Slot: 0})
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantObject, Page: 2, Obj: obj})
+	cs.RecordWrite(obj)
+	// A callback against the read page defers (in use).
+	reply, deferred := cs.HandleCallback(&Msg{Kind: MCallback, CB: CBAdaptive,
+		Page: readPage, Obj: ObjID{Page: readPage, Slot: 0}, Req: 99, Epoch: 7})
+	if !deferred || !reply.Busy {
+		t.Fatalf("callback should defer busy: %+v", reply)
+	}
+	msgs := cs.Abort()
+	if msgs[0].Kind != MAbortReq {
+		t.Fatalf("first abort msg = %v", msgs[0].Kind)
+	}
+	if len(msgs[0].PurgedPages) != 1 || msgs[0].PurgedPages[0] != 2 {
+		t.Fatalf("purged pages = %v", msgs[0].PurgedPages)
+	}
+	if len(msgs) != 2 || msgs[1].Kind != MCallbackAck || !msgs[1].Purged || msgs[1].Epoch != 7 {
+		t.Fatalf("deferred ack wrong: %+v", msgs[1:])
+	}
+	if cs.Cache.HasPage(2) {
+		t.Fatal("dirty page survived abort")
+	}
+	if cs.Cache.HasPage(readPage) {
+		t.Fatal("deferred page callback not honored at abort")
+	}
+}
+
+func TestClientCallbackEchoesEpoch(t *testing.T) {
+	cs := newCS(PS)
+	cs.Cache.InstallPage(3, nil)
+	reply, deferred := cs.HandleCallback(&Msg{Kind: MCallback, CB: CBPage, Page: 3, Req: 7, Epoch: 42})
+	if deferred || !reply.Purged || reply.Epoch != 42 {
+		t.Fatalf("ack = %+v (deferred=%v)", reply, deferred)
+	}
+}
+
+func TestClientCallbackAgainstOwnLockDefers(t *testing.T) {
+	// A callback can race a grant (cancelled round): it must defer, not
+	// panic, and resolve truthfully at transaction end.
+	obj := ObjID{Page: 2, Slot: 3}
+	cs := newCS(PSAA)
+	cs.Begin(5)
+	cs.Cache.InstallPage(2, nil)
+	cs.OnReply(&Msg{Kind: MGrant, Grant: GrantObject, Page: 2, Obj: obj})
+	cs.RecordWrite(obj)
+	reply, deferred := cs.HandleCallback(&Msg{Kind: MCallback, CB: CBAdaptive, Page: 2, Obj: obj, Req: 8})
+	if !deferred || !reply.Busy || reply.BusyTxn != 5 {
+		t.Fatalf("stale-round callback should defer busy: %+v", reply)
+	}
+	cs.Cache.CleanAll()
+	acks := cs.OnCommitAck()
+	if len(acks) != 1 || !acks[0].Purged {
+		t.Fatalf("deferred resolution wrong: %+v", acks)
+	}
+	if cs.Cache.HasPage(2) {
+		t.Fatal("page should be purged by the deferred adaptive callback")
+	}
+}
+
+func TestClientWriteSetHelpers(t *testing.T) {
+	cs := newCS(PSOO)
+	cs.Begin(9)
+	objs := []ObjID{{Page: 3, Slot: 1}, {Page: 1, Slot: 2}, {Page: 3, Slot: 0}}
+	for _, o := range objs {
+		cs.Cache.InstallPage(o.Page, nil)
+		cs.OnReply(&Msg{Kind: MGrant, Grant: GrantObject, Page: o.Page, Obj: o})
+		cs.RecordWrite(o)
+	}
+	if !cs.Wrote(objs[0]) || cs.Wrote(ObjID{Page: 9, Slot: 9}) {
+		t.Fatal("Wrote wrong")
+	}
+	ws := cs.WriteSetObjs()
+	if len(ws) != 3 || ws[0] != (ObjID{Page: 1, Slot: 2}) || ws[1] != (ObjID{Page: 3, Slot: 0}) {
+		t.Fatalf("WriteSetObjs = %v", ws)
+	}
+	wo := cs.WroteOn(3)
+	if len(wo) != 2 || wo[0].Slot != 0 || wo[1].Slot != 1 {
+		t.Fatalf("WroteOn = %v", wo)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import "testing"
+
+// Disconnect cleanup tests: a vanished client must not strand locks,
+// rounds, or copies (live-system hygiene; see ServerEngine.Disconnect).
+
+func TestDisconnectReleasesLocksAndUnblocks(t *testing.T) {
+	h := newHarness(t, PS, 2, 10, 20, 8)
+	h.begin(1)
+	h.mustDone(1, h.read(1, o(0, 0)))
+	h.mustDone(1, h.write(1, o(0, 0))) // client 1 holds page X
+
+	h.begin(2)
+	if st := h.read(2, o(0, 5)); st != opBlocked {
+		t.Fatalf("read should block on page X, got %v", st)
+	}
+
+	// Client 1 vanishes; its transaction aborts server-side and client 2's
+	// read is granted by the cleanup.
+	outs := h.se.Disconnect(1)
+	for _, m := range outs {
+		m := m
+		h.msgs[m.Kind]++
+		h.queue = append(h.queue, m)
+	}
+	h.pump()
+	if !h.hasReply(2) {
+		t.Fatal("disconnect did not unblock the waiting read")
+	}
+	h.mustDone(2, h.resume(2))
+	h.commit(2)
+	if !h.se.Quiesced() {
+		t.Fatalf("state leaked after disconnect:\n%s", h.se.DumpState())
+	}
+}
+
+func TestDisconnectAnswersPendingCallbacks(t *testing.T) {
+	h := newHarness(t, PS, 3, 10, 20, 8)
+	// Client 3 caches page 0 and stays idle-but-connected with an unsent
+	// ack: simulate by making its transaction busy.
+	h.begin(3)
+	h.mustDone(3, h.read(3, o(0, 7)))
+
+	h.begin(1)
+	h.mustDone(1, h.read(1, o(0, 0)))
+	if st := h.write(1, o(0, 0)); st != opBlocked {
+		t.Fatal("write should wait for client 3's busy callback")
+	}
+
+	// Client 3's machine dies without ever answering.
+	outs := h.se.Disconnect(3)
+	for _, m := range outs {
+		m := m
+		h.msgs[m.Kind]++
+		h.queue = append(h.queue, m)
+	}
+	h.pump()
+	if !h.hasReply(1) {
+		t.Fatal("disconnect did not complete the callback round")
+	}
+	h.mustDone(1, h.resume(1))
+	h.commit(1)
+	if !h.se.Quiesced() {
+		t.Fatal("server not quiesced")
+	}
+}
+
+func TestDisconnectDropsCopies(t *testing.T) {
+	for _, proto := range []Protocol{PS, PSOO, OS} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cap := 8
+			if proto == OS {
+				cap = 160
+			}
+			h := newHarness(t, proto, 2, 10, 20, cap)
+			h.begin(2)
+			h.mustDone(2, h.read(2, o(0, 1)))
+			h.commit(2)
+			if h.se.Copies.CopyCount() == 0 {
+				t.Fatal("no copies registered")
+			}
+			h.se.Disconnect(2)
+			if h.se.Copies.CopyCount() != 0 {
+				t.Fatalf("%d copies leaked after disconnect", h.se.Copies.CopyCount())
+			}
+			// A write by the surviving client needs no callbacks now.
+			h.begin(1)
+			h.mustDone(1, h.write(1, o(0, 1)))
+			if h.msgs[MCallback] != 0 {
+				t.Fatalf("callback sent to a disconnected client")
+			}
+			h.commit(1)
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import "testing"
+
+// TestStaleAckCannotCancelFreshRegistration is the regression test for the
+// registration-epoch fix (DESIGN.md §8.4): a client truthfully acks a
+// callback for a purged copy, but before the ack reaches the server the
+// client is granted a *fresh* copy of the same page. The stale ack must
+// not deregister the new copy, or the next writer would skip a required
+// callback and the client could serve stale reads forever.
+func TestStaleAckCannotCancelFreshRegistration(t *testing.T) {
+	layout := NewLayout(10, 20)
+	se := NewServerEngine(PSOA, layout)
+	clientA := NewClientState(1, PSOA, 8)
+	clientB := NewClientState(2, PSOA, 8)
+
+	// A reads page 0 (registration epoch e1).
+	clientA.Begin(1)
+	outs := se.Handle(clientA.NeedForRead(o(0, 2)))
+	if len(outs) != 1 || outs[0].Kind != MPageData {
+		t.Fatalf("read reply: %v", outs)
+	}
+	clientA.OnReply(&outs[0])
+	clientA.RecordRead(o(0, 2))
+	clientA.OnCommitAck() // read-only commit; copy retained
+
+	// B's write to 0.5 starts an adaptive round; the callback reaches A,
+	// which purged... is idle, so it purges the page and acks.
+	clientB.Begin(2)
+	clientB.StartWrite(o(0, 5))
+	outs = se.Handle(clientB.NeedForWrite(o(0, 5)))
+	if len(outs) != 1 || outs[0].Kind != MCallback || outs[0].To != 1 {
+		t.Fatalf("expected a callback to client 1, got %v", outs)
+	}
+	cb := outs[0]
+	ack, deferred := clientA.HandleCallback(&cb)
+	if deferred || !ack.Purged {
+		t.Fatalf("idle client should purge: %+v (deferred=%v)", ack, deferred)
+	}
+
+	// BEFORE the ack arrives, A re-reads the page: the server grants and
+	// re-registers A's copy with a newer epoch (0.5 unavailable).
+	clientA.Begin(3)
+	readReq := clientA.NeedForRead(o(0, 2))
+	outs = se.Handle(readReq)
+	if len(outs) != 1 || outs[0].Kind != MPageData {
+		t.Fatalf("re-read reply: %v", outs)
+	}
+	clientA.OnReply(&outs[0])
+	clientA.RecordRead(o(0, 2))
+	if !se.Copies.HasPageCopy(1, 0) {
+		t.Fatal("fresh registration missing")
+	}
+
+	// NOW the stale ack lands. Without epochs this deregistered the fresh
+	// copy; with epochs it must be a no-op on the copy table (while still
+	// completing B's round).
+	outs = se.Handle(ack)
+	if !se.Copies.HasPageCopy(1, 0) {
+		t.Fatal("stale ack cancelled the fresh registration")
+	}
+	// B's round completed: object grant emitted.
+	if len(outs) != 1 || outs[0].Grant != GrantObject || outs[0].To != 2 {
+		t.Fatalf("round completion: %v", outs)
+	}
+	clientB.OnReply(&outs[0])
+	clientB.RecordWrite(o(0, 5))
+
+	// B commits; a later write by B to another object on page 0 must still
+	// call back client A (its copy is registered and real).
+	commit := clientB.BuildCommit()
+	outs = se.Handle(commit)
+	if len(outs) != 1 || outs[0].Kind != MCommitAck {
+		t.Fatalf("commit ack: %v", outs)
+	}
+	clientB.OnCommitAck()
+
+	clientB.Begin(4)
+	clientB.StartWrite(o(0, 7))
+	outs = se.Handle(clientB.NeedForWrite(o(0, 7)))
+	foundCallback := false
+	for _, m := range outs {
+		if m.Kind == MCallback && m.To == 1 {
+			foundCallback = true
+		}
+	}
+	if !foundCallback {
+		t.Fatalf("writer skipped the callback to the re-registered client: %v", outs)
+	}
+}
+
+// TestAckWithCurrentEpochStillDeregisters checks the converse: an ack for
+// the registration the callback actually targeted must deregister it.
+func TestAckWithCurrentEpochStillDeregisters(t *testing.T) {
+	layout := NewLayout(10, 20)
+	se := NewServerEngine(PSOA, layout)
+	clientA := NewClientState(1, PSOA, 8)
+	clientB := NewClientState(2, PSOA, 8)
+
+	clientA.Begin(1)
+	outs := se.Handle(clientA.NeedForRead(o(0, 2)))
+	clientA.OnReply(&outs[0])
+	clientA.RecordRead(o(0, 2))
+	clientA.OnCommitAck()
+
+	clientB.Begin(2)
+	clientB.StartWrite(o(0, 5))
+	outs = se.Handle(clientB.NeedForWrite(o(0, 5)))
+	cb := outs[0]
+	ack, _ := clientA.HandleCallback(&cb)
+	se.Handle(ack)
+	if se.Copies.HasPageCopy(1, 0) {
+		t.Fatal("legitimate purge ack did not deregister the copy")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import "testing"
+
+func TestLayoutSequentialMapping(t *testing.T) {
+	l := NewLayout(10, 4)
+	if l.NumObjects() != 40 {
+		t.Fatalf("NumObjects = %d", l.NumObjects())
+	}
+	if got := l.Obj(0); got != (ObjID{Page: 0, Slot: 0}) {
+		t.Fatalf("Obj(0) = %v", got)
+	}
+	if got := l.Obj(7); got != (ObjID{Page: 1, Slot: 3}) {
+		t.Fatalf("Obj(7) = %v", got)
+	}
+	if got := l.Obj(39); got != (ObjID{Page: 9, Slot: 3}) {
+		t.Fatalf("Obj(39) = %v", got)
+	}
+}
+
+func TestLayoutBounds(t *testing.T) {
+	l := NewLayout(10, 4)
+	for _, idx := range []int{-1, 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Obj(%d) should panic", idx)
+				}
+			}()
+			l.Obj(idx)
+		}()
+	}
+}
+
+func TestInterleavePairsIsPermutation(t *testing.T) {
+	const (
+		numClients = 4
+		hotPages   = 5
+		objsPP     = 20
+		dbPages    = 40
+	)
+	l := NewLayout(dbPages, objsPP)
+	InterleavePairs(l, numClients, func(c int) PageID {
+		return PageID((c - 1) * hotPages)
+	}, hotPages)
+
+	seen := make(map[ObjID]int)
+	for i := 0; i < l.NumObjects(); i++ {
+		o := l.Obj(i)
+		if prev, dup := seen[o]; dup {
+			t.Fatalf("indices %d and %d map to the same object %v", prev, i, o)
+		}
+		seen[o] = i
+	}
+	if len(seen) != l.NumObjects() {
+		t.Fatalf("remap is not a permutation: %d targets", len(seen))
+	}
+}
+
+func TestInterleavePairsHalves(t *testing.T) {
+	const (
+		hotPages = 5
+		objsPP   = 20
+	)
+	l := NewLayout(40, objsPP)
+	InterleavePairs(l, 2, func(c int) PageID { return PageID((c - 1) * hotPages) }, hotPages)
+
+	half := uint16(objsPP / 2)
+	// Client 1's logical hot objects are indices of pages [0,5); client 2's
+	// of pages [5,10). After interleaving, client 1's land in top halves of
+	// the combined region, client 2's in bottom halves.
+	for i := 0; i < hotPages*objsPP; i++ {
+		o := l.Obj(i)
+		if o.Slot >= half {
+			t.Fatalf("client 1 object %d mapped to bottom half: %v", i, o)
+		}
+		if o.Page < 0 || o.Page >= 2*hotPages {
+			t.Fatalf("client 1 object %d outside combined region: %v", i, o)
+		}
+	}
+	for i := hotPages * objsPP; i < 2*hotPages*objsPP; i++ {
+		o := l.Obj(i)
+		if o.Slot < half {
+			t.Fatalf("client 2 object %d mapped to top half: %v", i, o)
+		}
+	}
+	// Pages outside the paired regions keep the identity mapping.
+	outside := 2 * hotPages * objsPP
+	if got := l.Obj(outside); got != (ObjID{Page: PageID(2 * hotPages), Slot: 0}) {
+		t.Fatalf("outside object remapped: %v", got)
+	}
+}
+
+func TestProtocolFacets(t *testing.T) {
+	cases := []struct {
+		p                                                                 Protocol
+		transferObj, pageLocks, objLocks, adaptive, objCopies, adaptiveCB bool
+	}{
+		{PS, false, true, false, false, false, false},
+		{OS, true, false, true, false, true, false},
+		{PSOO, false, false, true, false, true, false},
+		{PSOA, false, false, true, false, false, true},
+		{PSAA, false, true, true, true, false, true},
+		{PSWT, false, false, true, false, true, false},
+	}
+	for _, c := range cases {
+		if c.p.TransferObjects() != c.transferObj || c.p.PageLocks() != c.pageLocks ||
+			c.p.ObjectLocks() != c.objLocks || c.p.AdaptiveLocks() != c.adaptive ||
+			c.p.ObjectCopies() != c.objCopies || c.p.AdaptiveCallbacks() != c.adaptiveCB {
+			t.Fatalf("facets wrong for %v", c.p)
+		}
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, p := range Protocols {
+		got, ok := ParseProtocol(p.String())
+		if !ok || got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParseProtocol("nonsense"); ok {
+		t.Fatal("nonsense parsed")
+	}
+}
+
+func TestMsgSizeBytes(t *testing.T) {
+	const (
+		ctrl = 256
+		page = 4096
+		obj  = 204
+	)
+	cases := []struct {
+		m    Msg
+		want int
+	}{
+		{Msg{Kind: MReadReq}, ctrl},
+		{Msg{Kind: MGrant}, ctrl},
+		{Msg{Kind: MPageData}, ctrl + page},
+		{Msg{Kind: MObjData}, ctrl + obj},
+		{Msg{Kind: MCommitReq, Pages: []PageID{1, 2, 3}}, ctrl + 3*page},
+		{Msg{Kind: MCommitReq, Objs: []ObjID{{}, {}}}, ctrl + 2*obj},
+		{Msg{Kind: MCallback}, ctrl},
+	}
+	for _, c := range cases {
+		if got := c.m.SizeBytes(ctrl, page, obj); got != c.want {
+			t.Fatalf("%v size = %d, want %d", c.m.Kind, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import "testing"
+
+func TestLockTabGrantRelease(t *testing.T) {
+	lt := NewLockTab()
+	o := ObjID{Page: 3, Slot: 2}
+	lt.GrantObjX(1, 10, o)
+	if lt.ObjXHolder(o) != 1 {
+		t.Fatal("obj X not recorded")
+	}
+	if !lt.HoldsObjX(1, o) {
+		t.Fatal("HoldsObjX false")
+	}
+	lt.GrantPageX(1, 10, 5)
+	if lt.PageXHolder(5) != 1 {
+		t.Fatal("page X not recorded")
+	}
+	pages := lt.ReleaseAll(1)
+	if len(pages) != 2 || pages[0] != 3 || pages[1] != 5 {
+		t.Fatalf("affected pages = %v", pages)
+	}
+	if !lt.Empty() {
+		t.Fatal("table not empty after release")
+	}
+}
+
+func TestLockTabConflictPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	lt := NewLockTab()
+	lt.GrantPageX(1, 10, 5)
+	expectPanic("pageX over pageX", func() { lt.GrantPageX(2, 11, 5) })
+	expectPanic("objX under foreign pageX", func() { lt.GrantObjX(2, 11, ObjID{Page: 5, Slot: 0}) })
+
+	lt2 := NewLockTab()
+	lt2.GrantObjX(1, 10, ObjID{Page: 7, Slot: 3})
+	expectPanic("objX over objX", func() { lt2.GrantObjX(2, 11, ObjID{Page: 7, Slot: 3}) })
+	expectPanic("pageX over foreign objX", func() { lt2.GrantPageX(2, 11, 7) })
+}
+
+func TestLockTabEscalationAbsorbsOwnObjLocks(t *testing.T) {
+	lt := NewLockTab()
+	o1 := ObjID{Page: 4, Slot: 0}
+	o2 := ObjID{Page: 4, Slot: 9}
+	lt.GrantObjX(1, 10, o1)
+	lt.GrantObjX(1, 10, o2)
+	lt.GrantPageX(1, 10, 4) // re-escalation: same txn
+	if !lt.HoldsPageX(1, 4) {
+		t.Fatal("page X missing after escalation")
+	}
+	if lt.HoldsObjX(1, o1) || lt.HoldsObjX(1, o2) {
+		t.Fatal("object locks should be absorbed")
+	}
+	if lt.LockCount(1) != 1 {
+		t.Fatalf("lock count = %d, want 1", lt.LockCount(1))
+	}
+}
+
+func TestLockTabDeescalate(t *testing.T) {
+	lt := NewLockTab()
+	lt.GrantPageX(7, 2, 9)
+	objs := []ObjID{{Page: 9, Slot: 1}, {Page: 9, Slot: 5}}
+	lt.Deescalate(7, 9, objs)
+	if lt.PageXHolder(9) != NoTxn {
+		t.Fatal("page X survived de-escalation")
+	}
+	for _, o := range objs {
+		if lt.ObjXHolder(o) != 7 {
+			t.Fatalf("obj %v not locked after de-escalation", o)
+		}
+	}
+	// Another txn can now lock a different object on the page.
+	lt.GrantObjX(8, 3, ObjID{Page: 9, Slot: 7})
+	if n := lt.ObjXCount(9, 7); n != 1 {
+		t.Fatalf("foreign obj lock count = %d, want 1", n)
+	}
+	slots := lt.ObjXSlots(9, 8)
+	if len(slots) != 2 || slots[0] != 1 || slots[1] != 5 {
+		t.Fatalf("foreign slots for txn 8 = %v", slots)
+	}
+}
+
+func TestLockTabDeescalateWrongHolderPanics(t *testing.T) {
+	lt := NewLockTab()
+	lt.GrantPageX(7, 2, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lt.Deescalate(8, 9, nil)
+}
+
+func TestLockTabTxnPagesSorted(t *testing.T) {
+	lt := NewLockTab()
+	lt.GrantObjX(1, 5, ObjID{Page: 30, Slot: 0})
+	lt.GrantObjX(1, 5, ObjID{Page: 10, Slot: 0})
+	lt.GrantPageX(1, 5, 20)
+	pages := lt.TxnPages(1)
+	if len(pages) != 3 || pages[0] != 10 || pages[1] != 20 || pages[2] != 30 {
+		t.Fatalf("pages = %v", pages)
+	}
+	objs := lt.ObjXObjs(1)
+	if len(objs) != 2 || objs[0].Page != 10 || objs[1].Page != 30 {
+		t.Fatalf("objs = %v", objs)
+	}
+}
+
+func TestLockTabOpsCounting(t *testing.T) {
+	lt := NewLockTab()
+	lt.GrantObjX(1, 5, ObjID{Page: 1, Slot: 0})
+	lt.GrantPageX(1, 5, 2)
+	if ops := lt.TakeOps(); ops != 2 {
+		t.Fatalf("ops = %d, want 2", ops)
+	}
+	if ops := lt.TakeOps(); ops != 0 {
+		t.Fatalf("ops after take = %d, want 0", ops)
+	}
+}
+
+func TestLockTabReleaseUnknownTxn(t *testing.T) {
+	lt := NewLockTab()
+	if pages := lt.ReleaseAll(42); pages != nil {
+		t.Fatalf("release of unknown txn returned %v", pages)
+	}
+}

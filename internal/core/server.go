@@ -1,0 +1,236 @@
+package core
+
+import "fmt"
+
+// ServerEngine is the server DBMS protocol state machine for all five
+// granularity alternatives. It is a pure event->messages transducer:
+// Handle consumes one incoming client message and returns the messages the
+// server sends in response (data replies, grants, callbacks, de-escalation
+// requests, abort notifications). Blocked requests are queued internally
+// and their replies are emitted from the later Handle call that unblocks
+// them.
+//
+// Time, transport, buffering, and disks belong to the driver; CPU-relevant
+// work is accounted in Locks.Ops, Copies.Ops, and TakeMergeObjs.
+type ServerEngine struct {
+	Proto  Protocol
+	Layout *Layout
+	Locks  *LockTab
+	Copies *CopyTab
+
+	txns      map[TxnID]*stxn
+	rounds    map[int64]*round
+	pageRound map[PageID][]*round
+	queues    map[PageID][]*blockedReq
+	deesc     map[PageID]bool
+	tokens    map[PageID]*stxn // PS-WT: per-page write token holder
+	nextRound int64
+
+	out []Msg
+
+	mergeObjs int64 // CopyMergeInst accumulator (commit installs)
+
+	Stats ServerStats
+
+	// DebugCheckLog, when set (tests only), observes every deadlock
+	// check: start txn, its direct waits, chosen victim (0 if none).
+	DebugCheckLog func(start TxnID, waits []TxnID, victim TxnID)
+}
+
+// ServerStats counts protocol-level events of interest.
+type ServerStats struct {
+	Deadlocks     int64 // cycles resolved (victims chosen)
+	Rounds        int64 // callback rounds started
+	Callbacks     int64 // individual callback messages sent
+	BusyReplies   int64
+	Deescalations int64 // de-escalation requests issued
+	PageGrants    int64 // page-level write locks granted
+	ObjGrants     int64 // object-level write locks granted
+	Blocks        int64 // requests that blocked at least once
+	TokenWaits    int64 // PS-WT: writes blocked on the page write token
+	ReadReqs      int64
+	WriteReqs     int64
+	Commits       int64
+	Aborts        int64
+}
+
+// stxn is the server's view of an active transaction.
+type stxn struct {
+	id       TxnID
+	client   ClientID
+	blocked  *blockedReq // outstanding queued request, if any
+	round    *round      // outstanding callback round, if any
+	aborting bool        // chosen as deadlock victim, abort in flight
+	tokens   []PageID    // PS-WT: write tokens held
+}
+
+// blockedReq is a queued client request.
+type blockedReq struct {
+	msg         Msg
+	txn         *stxn
+	isWrite     bool
+	blockedOnce bool
+}
+
+// round is one callback round: a write request whose grant awaits acks.
+type round struct {
+	id      int64
+	req     Msg
+	txn     *stxn
+	page    PageID
+	obj     ObjID
+	kind    CallbackKind
+	pending map[ClientID]bool  // clients whose final ack is outstanding
+	busy    map[ClientID]TxnID // clients that replied busy (still pending)
+	anyKept bool               // some client kept its page (adaptive rounds)
+}
+
+// NewServerEngine creates the engine for the given protocol and layout.
+func NewServerEngine(proto Protocol, layout *Layout) *ServerEngine {
+	return &ServerEngine{
+		Proto:     proto,
+		Layout:    layout,
+		Locks:     NewLockTab(),
+		Copies:    NewCopyTab(proto.ObjectCopies()),
+		txns:      make(map[TxnID]*stxn),
+		rounds:    make(map[int64]*round),
+		pageRound: make(map[PageID][]*round),
+		queues:    make(map[PageID][]*blockedReq),
+		deesc:     make(map[PageID]bool),
+		tokens:    make(map[PageID]*stxn),
+	}
+}
+
+// Handle processes one incoming client message and returns the outgoing
+// server messages. The returned slice is reused across calls; the caller
+// must consume it before the next Handle.
+func (se *ServerEngine) Handle(m *Msg) []Msg {
+	se.out = se.out[:0]
+	se.processDropped(m)
+	switch m.Kind {
+	case MReadReq:
+		se.Stats.ReadReqs++
+		se.handleRequest(m, false)
+	case MWriteReq:
+		se.Stats.WriteReqs++
+		se.handleRequest(m, true)
+	case MCommitReq:
+		se.handleCommit(m)
+	case MAbortReq:
+		se.handleAbort(m)
+	case MCallbackAck:
+		se.handleAck(m)
+	case MDeescReply:
+		se.handleDeescReply(m)
+	default:
+		panic(fmt.Sprintf("core: server received %v", m.Kind))
+	}
+	return se.out
+}
+
+// TakeMergeObjs returns and resets the number of objects merged/installed
+// at the server since the last call (for CopyMergeInst costing).
+func (se *ServerEngine) TakeMergeObjs() int64 {
+	n := se.mergeObjs
+	se.mergeObjs = 0
+	return n
+}
+
+// ActiveTxns returns the number of transactions the server is tracking.
+func (se *ServerEngine) ActiveTxns() int { return len(se.txns) }
+
+// BlockedRequests returns the number of queued requests (diagnostics).
+func (se *ServerEngine) BlockedRequests() int {
+	n := 0
+	for _, q := range se.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// OpenRounds returns the number of callback rounds in flight.
+func (se *ServerEngine) OpenRounds() int { return len(se.rounds) }
+
+// Quiesced reports whether the server holds no locks, rounds, queues, or
+// transactions (integration-test invariant at end of run).
+func (se *ServerEngine) Quiesced() bool {
+	return len(se.txns) == 0 && len(se.rounds) == 0 && se.BlockedRequests() == 0 &&
+		se.Locks.Empty() && len(se.tokens) == 0
+}
+
+func (se *ServerEngine) getTxn(t TxnID, c ClientID) *stxn {
+	if t == NoTxn {
+		panic("core: request with no transaction id")
+	}
+	st := se.txns[t]
+	if st == nil {
+		st = &stxn{id: t, client: c}
+		se.txns[t] = st
+	}
+	return st
+}
+
+// processDropped applies piggybacked cache eviction notices.
+func (se *ServerEngine) processDropped(m *Msg) {
+	if se.Copies.ObjGranularity() {
+		for _, o := range m.DroppedObjs {
+			se.Copies.UnregisterObj(m.From, o, NoEpoch)
+		}
+		// PS-OO evicts whole pages client-side but registers per object.
+		for _, p := range m.DroppedPages {
+			for s := 0; s < se.Layout.ObjsPerPage; s++ {
+				se.Copies.UnregisterObj(m.From, ObjID{Page: p, Slot: uint16(s)}, NoEpoch)
+			}
+		}
+		return
+	}
+	for _, p := range m.DroppedPages {
+		se.Copies.UnregisterPage(m.From, p, NoEpoch)
+	}
+}
+
+// send buffers an outgoing message.
+func (se *ServerEngine) send(m Msg) { se.out = append(se.out, m) }
+
+// reply buffers a reply to request m.
+func (se *ServerEngine) replyMsg(req *Msg, kind MsgKind, grant GrantLevel, unavail []uint16) {
+	se.send(Msg{Kind: kind, To: req.From, Txn: req.Txn, Req: req.Req,
+		Page: req.Page, Obj: req.Obj, Grant: grant, Unavail: unavail})
+}
+
+// unavailSlots computes the slots of page p that must be marked
+// unavailable in a page shipped to txn t's client: objects write-locked by
+// other transactions plus objects targeted by open callback rounds.
+func (se *ServerEngine) unavailSlots(p PageID, t TxnID) []uint16 {
+	slots := se.Locks.ObjXSlots(p, t)
+	for _, rd := range se.pageRound[p] {
+		if rd.txn.id == t {
+			continue
+		}
+		found := false
+		for _, s := range slots {
+			if s == rd.obj.Slot {
+				found = true
+				break
+			}
+		}
+		if !found {
+			slots = append(slots, rd.obj.Slot)
+		}
+	}
+	sortSlots(slots)
+	return slots
+}
+
+// roundOnObj returns an open round targeting object o, or nil.
+func (se *ServerEngine) roundOnObj(o ObjID) *round {
+	for _, rd := range se.pageRound[o.Page] {
+		if rd.obj == o {
+			return rd
+		}
+	}
+	return nil
+}
+
+// roundsOnPage returns the open rounds for page p.
+func (se *ServerEngine) roundsOnPage(p PageID) []*round { return se.pageRound[p] }

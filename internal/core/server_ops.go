@@ -1,0 +1,825 @@
+package core
+
+import "fmt"
+
+// handleRequest processes a read or write request: try it, and queue it if
+// it blocks.
+func (se *ServerEngine) handleRequest(m *Msg, isWrite bool) {
+	t := se.getTxn(m.Txn, m.From)
+	if t.blocked != nil || t.round != nil {
+		panic(fmt.Sprintf("core: txn %d issued a request while one is outstanding", m.Txn))
+	}
+	r := &blockedReq{msg: *m, txn: t, isWrite: isWrite}
+	if se.tryRequest(r) {
+		se.maybeForget(t)
+		return
+	}
+	se.enqueue(r)
+}
+
+// maybeForget drops the server's record of a transaction that holds no
+// locks and has nothing outstanding. Read-only transactions commit purely
+// locally at the client, so this is the only way their records get
+// cleaned up.
+func (se *ServerEngine) maybeForget(t *stxn) {
+	if t.blocked == nil && t.round == nil && !t.aborting && se.Locks.LockCount(t.id) == 0 {
+		delete(se.txns, t.id)
+	}
+}
+
+func (se *ServerEngine) enqueue(r *blockedReq) {
+	p := r.msg.Obj.Page
+	se.queues[p] = append(se.queues[p], r)
+	r.txn.blocked = r
+	if !r.blockedOnce {
+		r.blockedOnce = true
+		se.Stats.Blocks++
+	}
+	se.deadlockCheck(r.txn)
+}
+
+// tryRequest attempts a queued or fresh request. It returns true when the
+// request has been fully dispatched (granted, replied, or converted into a
+// callback round) and false when it must (re)block.
+func (se *ServerEngine) tryRequest(r *blockedReq) bool {
+	if r.isWrite {
+		return se.tryWrite(r)
+	}
+	return se.tryRead(r)
+}
+
+// ---- Reads ----
+
+func (se *ServerEngine) tryRead(r *blockedReq) bool {
+	m := &r.msg
+	o, p := m.Obj, m.Obj.Page
+	switch se.Proto {
+	case PS:
+		if h := se.Locks.PageXHolder(p); h != NoTxn && h != m.Txn {
+			return false
+		}
+		if len(se.pageRound[p]) > 0 {
+			return false
+		}
+		se.Copies.RegisterPage(m.From, p)
+		se.replyMsg(m, MPageData, GrantNone, nil)
+		return true
+
+	case OS:
+		if h := se.Locks.ObjXHolder(o); h != NoTxn && h != m.Txn {
+			return false
+		}
+		if rd := se.roundOnObj(o); rd != nil && rd.txn.id != m.Txn {
+			return false
+		}
+		se.Copies.RegisterObj(m.From, o)
+		se.replyMsg(m, MObjData, GrantNone, nil)
+		return true
+
+	case PSOO, PSOA, PSWT:
+		// The write token (PS-WT) never blocks readers: fine-grained read
+		// sharing is the point of the scheme.
+		if h := se.Locks.ObjXHolder(o); h != NoTxn && h != m.Txn {
+			return false
+		}
+		if rd := se.roundOnObj(o); rd != nil && rd.txn.id != m.Txn {
+			return false
+		}
+		unavail := se.unavailSlots(p, m.Txn)
+		se.registerPageCopies(m.From, p, unavail)
+		se.replyMsg(m, MPageData, GrantNone, unavail)
+		return true
+
+	case PSAA:
+		if h := se.Locks.PageXHolder(p); h != NoTxn && h != m.Txn {
+			se.ensureDeesc(p, h)
+			return false
+		}
+		if h := se.Locks.ObjXHolder(o); h != NoTxn && h != m.Txn {
+			return false
+		}
+		if len(se.pageRound[p]) > 0 {
+			return false
+		}
+		unavail := se.unavailSlots(p, m.Txn)
+		se.Copies.RegisterPage(m.From, p)
+		se.replyMsg(m, MPageData, GrantNone, unavail)
+		return true
+	}
+	panic("core: unknown protocol")
+}
+
+// registerPageCopies records the copies created by shipping page p to
+// client c: per-object registration for PS-OO (each available object), a
+// single page registration for PS-OA.
+func (se *ServerEngine) registerPageCopies(c ClientID, p PageID, unavail []uint16) {
+	if !se.Copies.ObjGranularity() {
+		se.Copies.RegisterPage(c, p)
+		return
+	}
+	isUnavail := make(map[uint16]bool, len(unavail))
+	for _, s := range unavail {
+		isUnavail[s] = true
+	}
+	for s := 0; s < se.Layout.ObjsPerPage; s++ {
+		if !isUnavail[uint16(s)] {
+			se.Copies.RegisterObj(c, ObjID{Page: p, Slot: uint16(s)})
+		}
+	}
+}
+
+// ---- Writes ----
+
+func (se *ServerEngine) tryWrite(r *blockedReq) bool {
+	m := &r.msg
+	o, p := m.Obj, m.Obj.Page
+	switch se.Proto {
+	case PS:
+		if h := se.Locks.PageXHolder(p); h != NoTxn {
+			if h == m.Txn {
+				panic("core: write request while already holding page X")
+			}
+			return false
+		}
+		if len(se.pageRound[p]) > 0 {
+			return false
+		}
+		holders := se.Copies.PageHolders(p, m.From)
+		if len(holders) == 0 {
+			se.grantPageX(m)
+			return true
+		}
+		se.startRound(r, CBPage, holders)
+		return true
+
+	case OS, PSOO:
+		if h := se.Locks.ObjXHolder(o); h != NoTxn {
+			if h == m.Txn {
+				panic("core: write request while already holding object X")
+			}
+			return false
+		}
+		if rd := se.roundOnObj(o); rd != nil {
+			return false
+		}
+		holders := se.Copies.ObjHolders(o, m.From)
+		if len(holders) == 0 {
+			se.grantObjX(m)
+			return true
+		}
+		se.startRound(r, CBObject, holders)
+		return true
+
+	case PSOA:
+		if h := se.Locks.ObjXHolder(o); h != NoTxn {
+			if h == m.Txn {
+				panic("core: write request while already holding object X")
+			}
+			return false
+		}
+		if rd := se.roundOnObj(o); rd != nil {
+			return false
+		}
+		holders := se.Copies.PageHolders(p, m.From)
+		if len(holders) == 0 {
+			se.grantObjX(m)
+			return true
+		}
+		se.startRound(r, CBAdaptive, holders)
+		return true
+
+	case PSWT:
+		if h := se.Locks.ObjXHolder(o); h != NoTxn {
+			if h == m.Txn {
+				panic("core: write request while already holding object X")
+			}
+			return false
+		}
+		if rd := se.roundOnObj(o); rd != nil {
+			return false
+		}
+		// One updater per page at a time: the write token.
+		if tok := se.tokens[p]; tok != nil && tok.id != m.Txn {
+			se.Stats.TokenWaits++
+			return false
+		}
+		holders := se.Copies.ObjHolders(o, m.From)
+		if len(holders) == 0 {
+			se.grantObjX(m)
+			return true
+		}
+		se.startRound(r, CBObject, holders)
+		return true
+
+	case PSAA:
+		if h := se.Locks.PageXHolder(p); h != NoTxn && h != m.Txn {
+			se.ensureDeesc(p, h)
+			return false
+		}
+		if se.Locks.HoldsPageX(m.Txn, p) {
+			panic("core: write request while already holding page X")
+		}
+		if h := se.Locks.ObjXHolder(o); h != NoTxn {
+			if h == m.Txn {
+				panic("core: write request while already holding object X")
+			}
+			return false
+		}
+		if len(se.pageRound[p]) > 0 {
+			return false
+		}
+		holders := se.Copies.PageHolders(p, m.From)
+		if len(holders) == 0 {
+			if se.Locks.ObjXCount(p, m.Txn) == 0 {
+				se.grantPageX(m)
+			} else {
+				se.grantObjX(m)
+			}
+			return true
+		}
+		se.startRound(r, CBAdaptive, holders)
+		return true
+	}
+	panic("core: unknown protocol")
+}
+
+// needData decides whether a grant must carry the data item. The client
+// asks for data when it knows it lacks the item (WantData); the server
+// additionally ships data when its copy table shows the client's copy was
+// revoked after the request was sent (callback races).
+func (se *ServerEngine) needData(m *Msg) bool {
+	if m.WantData {
+		return true
+	}
+	if se.Copies.ObjGranularity() {
+		return !se.Copies.HasObjCopy(m.From, m.Obj)
+	}
+	return !se.Copies.HasPageCopy(m.From, m.Page)
+}
+
+// grantPageX grants a page-level write lock and replies (with data if
+// needed).
+func (se *ServerEngine) grantPageX(m *Msg) {
+	se.Locks.GrantPageX(m.Txn, m.From, m.Page)
+	se.Stats.PageGrants++
+	if se.needData(m) {
+		// Under a page grant no other transaction holds locks on the page,
+		// so nothing is unavailable.
+		if se.Copies.ObjGranularity() {
+			se.registerPageCopies(m.From, m.Page, nil)
+		} else {
+			se.Copies.RegisterPage(m.From, m.Page)
+		}
+		se.replyMsg(m, MPageData, GrantPage, nil)
+		return
+	}
+	se.replyMsg(m, MGrant, GrantPage, nil)
+}
+
+// grantObjX grants an object-level write lock and replies (with data if
+// needed). Under PS-WT the grant also takes the page's write token.
+func (se *ServerEngine) grantObjX(m *Msg) {
+	se.Locks.GrantObjX(m.Txn, m.From, m.Obj)
+	se.Stats.ObjGrants++
+	if se.Proto == PSWT {
+		if tok := se.tokens[m.Page]; tok == nil {
+			t := se.getTxn(m.Txn, m.From)
+			se.tokens[m.Page] = t
+			t.tokens = append(t.tokens, m.Page)
+		} else if tok.id != m.Txn {
+			panic("core: object grant over a foreign write token")
+		}
+	}
+	if se.needData(m) {
+		if se.Proto == OS {
+			se.Copies.RegisterObj(m.From, m.Obj)
+			se.replyMsg(m, MObjData, GrantObject, nil)
+			return
+		}
+		unavail := se.unavailSlots(m.Page, m.Txn)
+		se.registerPageCopies(m.From, m.Page, unavail)
+		se.replyMsg(m, MPageData, GrantObject, unavail)
+		return
+	}
+	se.replyMsg(m, MGrant, GrantObject, nil)
+}
+
+// ---- Callback rounds ----
+
+func (se *ServerEngine) startRound(r *blockedReq, kind CallbackKind, holders []ClientID) {
+	se.nextRound++
+	rd := &round{
+		id:      se.nextRound,
+		req:     r.msg,
+		txn:     r.txn,
+		page:    r.msg.Obj.Page,
+		obj:     r.msg.Obj,
+		kind:    kind,
+		pending: make(map[ClientID]bool, len(holders)),
+		busy:    make(map[ClientID]TxnID),
+	}
+	se.rounds[rd.id] = rd
+	se.pageRound[rd.page] = append(se.pageRound[rd.page], rd)
+	r.txn.round = rd
+	se.Stats.Rounds++
+	for _, c := range holders {
+		rd.pending[c] = true
+		se.Stats.Callbacks++
+		// Quote the registration epoch this callback revokes.
+		var epoch int64
+		if kind == CBObject {
+			epoch = se.Copies.ObjEpoch(c, rd.obj)
+		} else {
+			epoch = se.Copies.PageEpoch(c, rd.page)
+		}
+		se.send(Msg{Kind: MCallback, To: c, Txn: rd.txn.id, Req: rd.id,
+			Page: rd.page, Obj: rd.obj, CB: kind, Epoch: epoch})
+	}
+}
+
+// handleAck processes a callback reply: copy-table effects apply
+// unconditionally (the client really did purge/keep), round bookkeeping
+// only if the round is still live (it may have been cancelled by an
+// abort).
+func (se *ServerEngine) handleAck(m *Msg) {
+	if !m.Busy {
+		// Epoch-guarded: an ack for a copy that has since been re-granted
+		// (newer registration epoch) must not cancel the new registration.
+		switch m.CB {
+		case CBPage:
+			se.Copies.UnregisterPage(m.From, m.Page, m.Epoch)
+		case CBObject:
+			se.Copies.UnregisterObj(m.From, m.Obj, m.Epoch)
+		case CBAdaptive:
+			if m.Purged {
+				se.Copies.UnregisterPage(m.From, m.Page, m.Epoch)
+			}
+		}
+	}
+	rd := se.rounds[m.Req]
+	if rd == nil {
+		return // round cancelled (victim aborted); effects already applied
+	}
+	if m.Busy {
+		se.Stats.BusyReplies++
+		rd.busy[m.From] = m.BusyTxn
+		se.deadlockCheck(rd.txn)
+		return
+	}
+	if !rd.pending[m.From] {
+		panic(fmt.Sprintf("core: unexpected ack from client %d for round %d", m.From, rd.id))
+	}
+	delete(rd.pending, m.From)
+	delete(rd.busy, m.From)
+	if !m.Purged {
+		rd.anyKept = true
+	}
+	if len(rd.pending) == 0 {
+		se.completeRound(rd)
+	}
+}
+
+// completeRound finishes a callback round and grants the deferred write
+// request at the appropriate granularity.
+func (se *ServerEngine) completeRound(rd *round) {
+	se.dropRound(rd)
+	m := &rd.req
+	switch se.Proto {
+	case PS:
+		se.grantPageX(m)
+	case OS, PSOO, PSOA:
+		se.grantObjX(m)
+	case PSWT:
+		// The token may have been taken by a direct grant while our
+		// callbacks were in flight; if so, re-queue behind the holder.
+		if tok := se.tokens[rd.page]; tok != nil && tok.id != m.Txn {
+			se.Stats.TokenWaits++
+			se.enqueue(&blockedReq{msg: rd.req, txn: rd.txn, isWrite: true, blockedOnce: true})
+			se.retryQueue(rd.page)
+			return
+		}
+		se.grantObjX(m)
+	case PSAA:
+		// Page-level grant is possible only if every copy was purged and
+		// no other transaction retains object locks on the page.
+		if !rd.anyKept &&
+			se.Locks.ObjXCount(rd.page, m.Txn) == 0 &&
+			se.Locks.PageXHolder(rd.page) == NoTxn &&
+			len(se.Copies.PageHolders(rd.page, m.From)) == 0 {
+			se.grantPageX(m)
+		} else {
+			se.grantObjX(m)
+		}
+	}
+	se.retryQueue(rd.page)
+}
+
+// dropRound removes a round from the indexes.
+func (se *ServerEngine) dropRound(rd *round) {
+	delete(se.rounds, rd.id)
+	prs := se.pageRound[rd.page]
+	for i, x := range prs {
+		if x == rd {
+			prs = append(prs[:i], prs[i+1:]...)
+			break
+		}
+	}
+	if len(prs) == 0 {
+		delete(se.pageRound, rd.page)
+	} else {
+		se.pageRound[rd.page] = prs
+	}
+	rd.txn.round = nil
+}
+
+// ---- De-escalation (PS-AA) ----
+
+// ensureDeesc asks the page-X holder to de-escalate, once per page at a
+// time.
+func (se *ServerEngine) ensureDeesc(p PageID, holder TxnID) {
+	if se.deesc[p] {
+		return
+	}
+	ht := se.txns[holder]
+	if ht == nil {
+		panic(fmt.Sprintf("core: page X held by unknown txn %d", holder))
+	}
+	se.deesc[p] = true
+	se.Stats.Deescalations++
+	se.send(Msg{Kind: MDeescReq, To: ht.client, Txn: holder, Page: p})
+}
+
+// handleDeescReply converts the holder's page lock into object locks on
+// the objects it reports, then retries the page's queue.
+func (se *ServerEngine) handleDeescReply(m *Msg) {
+	p := m.Page
+	delete(se.deesc, p)
+	holder := se.Locks.PageXHolder(p)
+	if holder != NoTxn && holder == m.Txn && len(m.DeescObjs) > 0 {
+		se.Locks.Deescalate(holder, p, m.DeescObjs)
+	}
+	// If the holder committed/aborted in the meantime the lock is already
+	// gone and the queue was retried then; retry again regardless (cheap,
+	// and required in the normal case).
+	se.retryQueue(p)
+}
+
+// ---- Commit / abort ----
+
+func (se *ServerEngine) handleCommit(m *Msg) {
+	se.Stats.Commits++
+	t := se.txns[m.Txn]
+	if t != nil && (t.blocked != nil || t.round != nil) {
+		panic("core: commit from a blocked transaction")
+	}
+	// Install/merge accounting: pages committed under object-level locks
+	// must be merged object-by-object; pages under a page lock install
+	// wholesale. OS installs per object.
+	switch {
+	case se.Proto == OS:
+		se.mergeObjs += int64(len(m.Objs))
+	case se.Proto == PSWT:
+		// The write token serialized all updaters of each page: committed
+		// pages install wholesale, no merge — the scheme's selling point.
+	default:
+		for _, p := range m.Pages {
+			if !se.Locks.HoldsPageX(m.Txn, p) {
+				se.mergeObjs += int64(se.Locks.ObjXCountOnPage(m.Txn, p))
+			}
+		}
+	}
+	se.finishTxn(m.Txn)
+	se.send(Msg{Kind: MCommitAck, To: m.From, Txn: m.Txn, Req: m.Req})
+}
+
+func (se *ServerEngine) handleAbort(m *Msg) {
+	se.Stats.Aborts++
+	t := se.txns[m.Txn]
+	roundPage := InvalidPage
+	if t != nil {
+		if t.blocked != nil {
+			se.removeFromQueue(t.blocked)
+			t.blocked = nil
+		}
+		if t.round != nil {
+			roundPage = t.round.page
+			se.dropRound(t.round)
+		}
+	}
+	// Deregister the copies the client purged while aborting.
+	if se.Copies.ObjGranularity() {
+		for _, o := range m.PurgedObjs {
+			se.Copies.UnregisterObj(m.From, o, NoEpoch)
+		}
+		for _, p := range m.PurgedPages {
+			for s := 0; s < se.Layout.ObjsPerPage; s++ {
+				se.Copies.UnregisterObj(m.From, ObjID{Page: p, Slot: uint16(s)}, NoEpoch)
+			}
+		}
+	} else {
+		for _, p := range m.PurgedPages {
+			se.Copies.UnregisterPage(m.From, p, NoEpoch)
+		}
+	}
+	se.finishTxn(m.Txn)
+	// The cancelled round may have been blocking requests on its page
+	// (which the victim held no locks on, so finishTxn did not retry it).
+	if roundPage != InvalidPage {
+		se.retryQueue(roundPage)
+	}
+}
+
+// finishTxn releases a transaction's locks (and write tokens), forgets it,
+// and retries the queues of every page it touched.
+func (se *ServerEngine) finishTxn(t TxnID) {
+	var tokenPages []PageID
+	if st := se.txns[t]; st != nil {
+		for _, p := range st.tokens {
+			if se.tokens[p] == st {
+				delete(se.tokens, p)
+				tokenPages = append(tokenPages, p)
+			}
+		}
+	}
+	pages := se.Locks.ReleaseAll(t)
+	delete(se.txns, t)
+	for _, p := range pages {
+		se.retryQueue(p)
+	}
+	// Token pages are normally a subset of the locked pages, but retry
+	// them explicitly for safety.
+	for _, p := range tokenPages {
+		se.retryQueue(p)
+	}
+}
+
+// removeFromQueue deletes a blocked request from its page queue.
+func (se *ServerEngine) removeFromQueue(r *blockedReq) {
+	p := r.msg.Obj.Page
+	q := se.queues[p]
+	for i, x := range q {
+		if x == r {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(se.queues, p)
+	} else {
+		se.queues[p] = q
+	}
+}
+
+// retryQueue re-evaluates the blocked requests of page p in FIFO order.
+// Requests that now succeed leave the queue; the rest stay blocked. A
+// request that stays blocked may now be waiting on *different*
+// transactions than when it first blocked (its old blocker released, a
+// new round owns the page, ...), which can close a waits-for cycle, so
+// each still-blocked request gets a fresh deadlock check.
+func (se *ServerEngine) retryQueue(p PageID) {
+	q := se.queues[p]
+	if len(q) == 0 {
+		return
+	}
+	var remaining []*blockedReq
+	for i := 0; i < len(q); i++ {
+		r := q[i]
+		if r.txn.aborting {
+			remaining = append(remaining, r)
+			continue
+		}
+		// Temporarily detach so tryRequest sees a clean state.
+		r.txn.blocked = nil
+		if se.tryRequest(r) {
+			se.maybeForget(r.txn)
+			continue
+		}
+		r.txn.blocked = r
+		remaining = append(remaining, r)
+	}
+	if len(remaining) == 0 {
+		delete(se.queues, p)
+	} else {
+		se.queues[p] = remaining
+	}
+	for _, r := range remaining {
+		if r.txn.blocked == r && !r.txn.aborting {
+			se.deadlockCheck(r.txn)
+		}
+	}
+}
+
+// ---- Client disconnect (live system) ----
+
+// Disconnect cleans up after a departed client: its transactions are
+// aborted (locks released, queued requests and rounds cancelled), rounds
+// awaiting its callback acks are completed as if it purged everything (its
+// cache is gone), and all its registered copies are dropped. The returned
+// messages (grants unblocked by the cleanup) must be dispatched.
+func (se *ServerEngine) Disconnect(c ClientID) []Msg {
+	se.out = se.out[:0]
+
+	var mine []*stxn
+	for _, t := range se.txns {
+		if t.client == c {
+			mine = append(mine, t)
+		}
+	}
+	for i := 1; i < len(mine); i++ {
+		for j := i; j > 0 && mine[j].id < mine[j-1].id; j-- {
+			mine[j], mine[j-1] = mine[j-1], mine[j]
+		}
+	}
+	for _, t := range mine {
+		if t.blocked != nil {
+			se.removeFromQueue(t.blocked)
+			t.blocked = nil
+		}
+		roundPage := InvalidPage
+		if t.round != nil {
+			roundPage = t.round.page
+			se.dropRound(t.round)
+		}
+		t.aborting = true // suppress victim selection against a ghost
+		se.Stats.Aborts++
+		se.finishTxn(t.id)
+		if roundPage != InvalidPage {
+			se.retryQueue(roundPage)
+		}
+	}
+
+	// Answer outstanding callbacks on the ghost's behalf: everything it
+	// cached is gone, so every pending ack becomes "purged".
+	var open []*round
+	for _, rd := range se.rounds {
+		if rd.pending[c] {
+			open = append(open, rd)
+		}
+	}
+	for i := 1; i < len(open); i++ {
+		for j := i; j > 0 && open[j].id < open[j-1].id; j-- {
+			open[j], open[j-1] = open[j-1], open[j]
+		}
+	}
+	for _, rd := range open {
+		var epoch int64
+		if rd.kind == CBObject {
+			epoch = se.Copies.ObjEpoch(c, rd.obj)
+		} else if !se.Copies.ObjGranularity() {
+			epoch = se.Copies.PageEpoch(c, rd.page)
+		}
+		ack := Msg{Kind: MCallbackAck, From: c, Req: rd.id, Page: rd.page, Obj: rd.obj,
+			CB: rd.kind, Purged: true, Epoch: epoch}
+		se.handleAck(&ack)
+	}
+
+	se.Copies.DropClient(c)
+	return se.out
+}
+
+// ---- Deadlock detection ----
+
+// deadlockCheck searches the waits-for graph for cycles through t,
+// aborting the youngest member of each cycle found. A single trigger can
+// close several distinct cycles at once (e.g. a busy reply from one client
+// completing two alternative paths), so the search repeats until no cycle
+// through t remains; aborting victims leave the graph for subsequent
+// passes.
+func (se *ServerEngine) deadlockCheck(t *stxn) {
+	for !t.aborting {
+		path := []*stxn{t}
+		onPath := map[TxnID]bool{t.id: true}
+		victim := se.findCycle(t, t, path, onPath)
+		if se.DebugCheckLog != nil {
+			v := TxnID(0)
+			if victim != nil {
+				v = victim.id
+			}
+			se.DebugCheckLog(t.id, se.waitsFor(t), v)
+		}
+		if victim == nil {
+			return
+		}
+		se.Stats.Deadlocks++
+		se.abortVictim(victim)
+	}
+}
+
+// findCycle DFSes from cur looking for start; on finding a cycle it
+// returns the youngest (highest-id) non-aborting member.
+func (se *ServerEngine) findCycle(start, cur *stxn, path []*stxn, onPath map[TxnID]bool) *stxn {
+	for _, next := range se.waitsFor(cur) {
+		nt := se.txns[next]
+		if nt == nil || nt.aborting {
+			continue
+		}
+		if nt == start {
+			// Cycle: pick the youngest on the path.
+			victim := path[0]
+			for _, s := range path[1:] {
+				if s.id > victim.id {
+					victim = s
+				}
+			}
+			return victim
+		}
+		if onPath[nt.id] {
+			continue // cycle not through start; its own trigger will catch it
+		}
+		onPath[nt.id] = true
+		if v := se.findCycle(start, nt, append(path, nt), onPath); v != nil {
+			return v
+		}
+		delete(onPath, nt.id)
+	}
+	return nil
+}
+
+// waitsFor enumerates the transactions t is directly waiting on, in
+// deterministic order.
+func (se *ServerEngine) waitsFor(t *stxn) []TxnID {
+	var deps []TxnID
+	add := func(x TxnID) {
+		if x == NoTxn || x == t.id {
+			return
+		}
+		for _, d := range deps {
+			if d == x {
+				return
+			}
+		}
+		deps = append(deps, x)
+	}
+	if r := t.blocked; r != nil {
+		o, p := r.msg.Obj, r.msg.Obj.Page
+		switch se.Proto {
+		case PS:
+			add(se.Locks.PageXHolder(p))
+			for _, rd := range se.pageRound[p] {
+				add(rd.txn.id)
+			}
+		case OS, PSOO, PSOA:
+			add(se.Locks.ObjXHolder(o))
+			if rd := se.roundOnObj(o); rd != nil {
+				add(rd.txn.id)
+			}
+		case PSWT:
+			add(se.Locks.ObjXHolder(o))
+			if rd := se.roundOnObj(o); rd != nil {
+				add(rd.txn.id)
+			}
+			if r.isWrite {
+				if tok := se.tokens[p]; tok != nil {
+					add(tok.id)
+				}
+			}
+		case PSAA:
+			add(se.Locks.PageXHolder(p))
+			add(se.Locks.ObjXHolder(o))
+			for _, rd := range se.pageRound[p] {
+				add(rd.txn.id)
+			}
+		}
+	}
+	if rd := t.round; rd != nil {
+		// Busy repliers block the round; enumerate in client order for
+		// determinism.
+		var clients []ClientID
+		for c := range rd.busy {
+			clients = append(clients, c)
+		}
+		for i := 1; i < len(clients); i++ {
+			for j := i; j > 0 && clients[j] < clients[j-1]; j-- {
+				clients[j], clients[j-1] = clients[j-1], clients[j]
+			}
+		}
+		for _, c := range clients {
+			add(rd.busy[c])
+		}
+	}
+	return deps
+}
+
+// abortVictim initiates a deadlock abort: cancel the victim's outstanding
+// request and tell its client. Locks are released when the client's
+// MAbortReq arrives.
+func (se *ServerEngine) abortVictim(v *stxn) {
+	v.aborting = true
+	var reqID int64
+	roundPage := InvalidPage
+	if v.blocked != nil {
+		reqID = v.blocked.msg.Req
+		se.removeFromQueue(v.blocked)
+		v.blocked = nil
+	}
+	if v.round != nil {
+		reqID = v.round.req.Req
+		roundPage = v.round.page
+		se.dropRound(v.round)
+	}
+	se.send(Msg{Kind: MAbortYou, To: v.client, Txn: v.id, Req: reqID})
+	// Requests blocked on the cancelled round can proceed now.
+	if roundPage != InvalidPage {
+		se.retryQueue(roundPage)
+	}
+}

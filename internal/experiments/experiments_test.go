@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCatalogueIsComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "x-locality1", "x-slownet", "x-clustered",
+		"x-wtoken", "x-wtoken-hotcold",
+	}
+	for _, id := range want {
+		if Find(id) == nil {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+	if len(Catalogue()) != len(want) {
+		t.Fatalf("catalogue has %d entries, want %d", len(Catalogue()), len(want))
+	}
+}
+
+func TestSpecsValidateAcrossAxis(t *testing.T) {
+	for _, s := range Catalogue() {
+		for _, wp := range s.WriteProbs {
+			w := s.Spec(wp) // Spec construction validates internally on use
+			w.Validate()
+			if got := w.AvgObjectsPerTxn(); s.ID != "x-locality1" && s.ID != "fig11" &&
+				!strings.HasPrefix(s.ID, "fig1") && math.Abs(got-120) > 1e-9 {
+				t.Fatalf("%s: avg objects per txn = %v, want 120", s.ID, got)
+			}
+		}
+	}
+}
+
+func TestPageWriteProb(t *testing.T) {
+	if PageWriteProb(0, 12) != 0 {
+		t.Fatal("p=0 should give 0")
+	}
+	if math.Abs(PageWriteProb(0.2, 12)-0.9313) > 0.001 {
+		t.Fatalf("PageWriteProb(0.2,12) = %v", PageWriteProb(0.2, 12))
+	}
+	if math.Abs(PageWriteProb(0.2, 1)-0.2) > 1e-12 {
+		t.Fatal("L=1 should be identity")
+	}
+	// Monotone in both arguments.
+	if !(PageWriteProb(0.1, 4) < PageWriteProb(0.2, 4)) ||
+		!(PageWriteProb(0.1, 4) < PageWriteProb(0.1, 12)) {
+		t.Fatal("monotonicity violated")
+	}
+}
+
+func TestQuickSweepRunsAndRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := Find("fig3")
+	s.WriteProbs = []float64{0, 0.1}
+	res := s.Run(QuickOpts(), nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, p := range core.Protocols {
+			if row.Res[p].Throughput <= 0 {
+				t.Fatalf("wp=%v %v: throughput %v", row.WriteProb, p, row.Res[p].Throughput)
+			}
+		}
+	}
+	txt := res.Render()
+	for _, p := range core.Protocols {
+		if !strings.Contains(txt, p.String()) {
+			t.Fatalf("render missing %v:\n%s", p, txt)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "write_prob,PS,PS_ci,OS,OS_ci") {
+		t.Fatalf("csv header: %s", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Fatalf("csv lines = %d", lines)
+	}
+	if d := res.Detail(); !strings.Contains(d, "msgs/c") {
+		t.Fatal("detail missing metrics")
+	}
+}
+
+func TestNormalizedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := Find("fig12")
+	s.WriteProbs = []float64{0.1}
+	res := s.Run(Opts{Seed: 1, Warmup: 3, Measure: 9, Batches: 3}, nil)
+	v := res.value(res.Rows[0], core.PSAA)
+	if math.Abs(v-1.0) > 1e-12 {
+		t.Fatalf("PS-AA normalized to itself = %v, want 1", v)
+	}
+}
+
+func TestFig5Rendering(t *testing.T) {
+	txt := RenderFig5([]float64{0, 0.1, 0.2})
+	if !strings.Contains(txt, "locality=12") {
+		t.Fatalf("fig5 render:\n%s", txt)
+	}
+	csv := Fig5CSV([]float64{0, 0.1})
+	if !strings.HasPrefix(csv, "write_prob,L1,L4,L12") {
+		t.Fatalf("fig5 csv: %s", csv)
+	}
+}
+
+func TestClientScalingSweepShape(t *testing.T) {
+	sweeps := ClientScalingSweep(0.1, []int{1, 5, 10})
+	if len(sweeps) != 3 {
+		t.Fatalf("sweeps = %d", len(sweeps))
+	}
+	for i, n := range []int{1, 5, 10} {
+		w := sweeps[i].Spec(0.1)
+		if w.NumClients != n {
+			t.Fatalf("sweep %d clients = %d", i, w.NumClients)
+		}
+		w.Validate()
+	}
+}

@@ -1,0 +1,509 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrAborted is returned by transaction operations when the transaction
+// was chosen as a deadlock victim; the caller should retry it.
+var ErrAborted = errors.New("live: transaction aborted (deadlock victim)")
+
+// ErrClosed is returned after the connection is gone.
+var ErrClosed = errors.New("live: client closed")
+
+// Client is a live Client DBMS process: it caches pages (or objects under
+// OS), holds the protocol state machine, answers callbacks concurrently
+// with the running transaction, and exposes a transactional API.
+//
+// A Client supports one active transaction at a time (like the paper's
+// model); open several Clients for concurrency.
+type Client struct {
+	conn  Conn
+	id    core.ClientID
+	proto core.Protocol
+
+	numPages    int
+	objsPerPage int
+	objSize     int
+	variable    bool // variable-size objects (OS protocol + VStore server)
+
+	mu       sync.Mutex
+	cs       *core.ClientState
+	pageData map[core.PageID][]byte
+	objData  map[core.ObjID][]byte
+	pending  map[int64]*pendingReq
+	nextReq  int64
+	lastTxn  core.TxnID
+	txn      *Txn
+	closed   bool
+	recvErr  error
+}
+
+// pendingReq is one outstanding request. The receive loop runs apply under
+// the client lock the moment the reply arrives — atomically with respect
+// to callbacks and de-escalation requests, which may only be answered
+// after the reply's effects (grants, recorded writes) are installed — and
+// then signals done.
+type pendingReq struct {
+	apply func(rep *core.Msg)
+	done  chan reqOutcome
+}
+
+type reqOutcome int
+
+const (
+	reqOK reqOutcome = iota
+	reqAborted
+	reqClosed
+)
+
+// ClientOptions tunes a client.
+type ClientOptions struct {
+	// CachePages is the cache capacity in pages (objects x fan-out under
+	// OS). Default: 25% of the database, as in the paper.
+	CachePages int
+}
+
+// Connect performs the handshake over conn and returns a ready client.
+func Connect(conn Conn, opts ClientOptions) (*Client, error) {
+	hello, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("live: handshake: %w", err)
+	}
+	if hello.Kind != core.MHello {
+		return nil, fmt.Errorf("live: handshake: unexpected %v", hello.Kind)
+	}
+	c := &Client{
+		conn:        conn,
+		id:          hello.HelloID,
+		proto:       hello.HelloProto,
+		numPages:    int(hello.HelloPages),
+		objsPerPage: int(hello.HelloObjsPP),
+		objSize:     int(hello.HelloObjSize),
+		variable:    hello.HelloVariable,
+		pageData:    make(map[core.PageID][]byte),
+		objData:     make(map[core.ObjID][]byte),
+		pending:     make(map[int64]*pendingReq),
+	}
+	cap := opts.CachePages
+	if cap <= 0 {
+		cap = c.numPages / 4
+	}
+	if c.proto == core.OS {
+		cap *= c.objsPerPage
+	}
+	c.cs = core.NewClientState(c.id, c.proto, cap)
+	go c.recvLoop()
+	return c, nil
+}
+
+// ID returns the server-assigned client id.
+func (c *Client) ID() core.ClientID { return c.id }
+
+// Proto returns the protocol negotiated with the server.
+func (c *Client) Proto() core.Protocol { return c.proto }
+
+// ObjSize returns the fixed object size.
+func (c *Client) ObjSize() int { return c.objSize }
+
+// Geometry returns (numPages, objsPerPage).
+func (c *Client) Geometry() (int, int) { return c.numPages, c.objsPerPage }
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.failPending()
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// failPending marks the client closed and releases all waiters (mu held).
+func (c *Client) failPending() {
+	c.closed = true
+	for _, pr := range c.pending {
+		pr.done <- reqClosed
+	}
+	c.pending = map[int64]*pendingReq{}
+}
+
+// recvLoop dispatches server messages: callbacks and de-escalations are
+// handled immediately (concurrently with the running transaction), and
+// replies are applied in arrival order under the client lock, so that a
+// later callback or de-escalation request always observes the effects of
+// the grants that preceded it on the wire.
+func (c *Client) recvLoop() {
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.recvErr = err
+			c.failPending()
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		switch m.Kind {
+		case core.MCallback:
+			reply, _ := c.cs.HandleCallback(m)
+			c.cleanupPage(m.Page)
+			c.send(reply)
+			c.mu.Unlock()
+		case core.MDeescReq:
+			c.send(c.cs.HandleDeescReq(m))
+			c.mu.Unlock()
+		case core.MAbortYou:
+			pr := c.pending[m.Req]
+			delete(c.pending, m.Req)
+			// Roll the transaction back right here so subsequent messages
+			// see consistent state; the waiter just learns the outcome.
+			for _, am := range c.cs.Abort() {
+				am := am
+				c.send(&am)
+				c.cleanupPage(am.Page)
+			}
+			c.txn = nil
+			c.mu.Unlock()
+			if pr != nil {
+				pr.done <- reqAborted
+			}
+		default:
+			pr := c.pending[m.Req]
+			delete(c.pending, m.Req)
+			if pr != nil && pr.apply != nil {
+				pr.apply(m)
+			}
+			c.mu.Unlock()
+			if pr != nil {
+				pr.done <- reqOK
+			}
+		}
+	}
+}
+
+// send transmits a message with drop notices attached. Callers hold c.mu,
+// which also serializes the wire order with the state mutations that
+// produced the message.
+func (c *Client) send(m *core.Msg) {
+	pages, objs := c.cs.Cache.TakeDropped()
+	m.DroppedPages, m.DroppedObjs = pages, objs
+	for _, p := range pages {
+		delete(c.pageData, p)
+	}
+	for _, o := range objs {
+		delete(c.objData, o)
+	}
+	_ = c.conn.Send(m)
+}
+
+// cleanupPage frees page bytes if the protocol state no longer caches the
+// page.
+func (c *Client) cleanupPage(p core.PageID) {
+	if !c.cs.Cache.HasPage(p) {
+		delete(c.pageData, p)
+	}
+}
+
+// Begin starts a transaction. It blocks until any previous transaction on
+// this client finishes.
+func (c *Client) Begin() (*Txn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.txn != nil {
+		return nil, errors.New("live: transaction already active on this client")
+	}
+	// Transaction ids must be unique across clients and roughly
+	// start-ordered (the deadlock victim policy aborts the youngest):
+	// nanosecond timestamp with the low byte replaced by the client id.
+	// Unique for up to 255 clients per server.
+	id := core.TxnID(time.Now().UnixNano())&^0xff | core.TxnID(c.id&0xff)
+	if id <= c.lastTxn {
+		id = c.lastTxn + 0x100
+	}
+	c.lastTxn = id
+	c.cs.Begin(id)
+	c.txn = &Txn{c: c}
+	return c.txn, nil
+}
+
+// Txn is one transaction's handle. Its methods must be called from a
+// single goroutine.
+type Txn struct {
+	c    *Client
+	done bool
+}
+
+// roundTrip sends m and waits for its reply; apply runs under c.mu in the
+// receive loop the moment the reply arrives. The caller must hold c.mu;
+// the lock is released while waiting and reacquired before returning.
+func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.nextReq++
+	m.Req = c.nextReq
+	m.Txn = c.cs.Txn
+	m.From = c.id
+	pr := &pendingReq{apply: apply, done: make(chan reqOutcome, 1)}
+	c.pending[m.Req] = pr
+	c.send(m)
+	c.mu.Unlock()
+	out := <-pr.done
+	c.mu.Lock()
+	switch out {
+	case reqAborted:
+		return ErrAborted
+	case reqClosed:
+		return ErrClosed
+	}
+	return nil
+}
+
+func (t *Txn) check() error {
+	if t.done {
+		return errors.New("live: transaction finished")
+	}
+	if t.c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// finishIfAborted marks the transaction done on an abort outcome.
+func (t *Txn) finishIfAborted(err error) error {
+	if errors.Is(err, ErrAborted) || errors.Is(err, ErrClosed) {
+		t.done = true
+	}
+	return err
+}
+
+func (c *Client) checkObjID(o core.ObjID) error {
+	if int(o.Page) < 0 || int(o.Page) >= c.numPages || int(o.Slot) >= c.objsPerPage {
+		return fmt.Errorf("live: object %v out of range", o)
+	}
+	return nil
+}
+
+// Read returns the current value of object o under this transaction.
+func (t *Txn) Read(o core.ObjID) ([]byte, error) {
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	if err := c.checkObjID(o); err != nil {
+		return nil, err
+	}
+	if m := c.cs.NeedForRead(o); m != nil {
+		var val []byte
+		err := c.roundTrip(m, func(rep *core.Msg) {
+			// Runs in the receive loop: install the data, record the read,
+			// and snapshot the value before any later callback can touch it.
+			c.applyReply(rep)
+			c.cs.RecordRead(o)
+			val = c.objBytes(o)
+		})
+		if err != nil {
+			return nil, t.finishIfAborted(err)
+		}
+		return val, nil
+	}
+	c.cs.RecordRead(o)
+	return c.objBytes(o), nil
+}
+
+// Write installs a new value for object o (at most ObjSize bytes; shorter
+// values are zero-padded). Writes replace the whole object, so no prior
+// read is required — a blind write under the object's write lock is
+// serializable even if the local copy was stale.
+func (t *Txn) Write(o core.ObjID, data []byte) error {
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := c.checkObjID(o); err != nil {
+		return err
+	}
+	if len(data) > c.objSize {
+		return fmt.Errorf("live: value %d bytes exceeds object size %d", len(data), c.objSize)
+	}
+	c.cs.StartWrite(o)
+	if m := c.cs.NeedForWrite(o); m != nil {
+		err := c.roundTrip(m, func(rep *core.Msg) {
+			c.applyReply(rep)
+			c.cs.RecordWrite(o)
+			c.setObjBytes(o, data)
+		})
+		return t.finishIfAborted(err)
+	}
+	c.cs.RecordWrite(o)
+	c.setObjBytes(o, data)
+	return nil
+}
+
+// Update is a read-modify-write convenience: it reads o, applies fn, and
+// writes the result.
+func (t *Txn) Update(o core.ObjID, fn func(old []byte) []byte) error {
+	old, err := t.Read(o)
+	if err != nil {
+		return err
+	}
+	return t.Write(o, fn(old))
+}
+
+// Commit makes the transaction's updates durable and visible.
+func (t *Txn) Commit() error {
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := t.check(); err != nil {
+		return err
+	}
+	updates := c.collectUpdates()
+	if len(updates) > 0 {
+		m := c.cs.BuildCommit()
+		m.Updates = updates
+		err := c.roundTrip(m, func(rep *core.Msg) {
+			if rep.Kind != core.MCommitAck {
+				panic(fmt.Sprintf("live: unexpected commit reply %v", rep.Kind))
+			}
+			// Discharge deferred callbacks on the receive path so the acks
+			// stay ordered with the transaction's end.
+			for _, ack := range c.cs.OnCommitAck() {
+				ack := ack
+				c.send(&ack)
+				c.cleanupPage(ack.Page)
+			}
+		})
+		if err != nil {
+			return t.finishIfAborted(err)
+		}
+		t.done = true
+		c.txn = nil
+		return nil
+	}
+	// Read-only: commit locally (cached copies are read permission).
+	for _, ack := range c.cs.OnCommitAck() {
+		ack := ack
+		c.send(&ack)
+		c.cleanupPage(ack.Page)
+	}
+	t.done = true
+	c.txn = nil
+	return nil
+}
+
+// Abort voluntarily rolls the transaction back.
+func (t *Txn) Abort() error {
+	c := t.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.done {
+		return nil
+	}
+	for _, am := range c.cs.Abort() {
+		am := am
+		c.send(&am)
+		c.cleanupPage(am.Page)
+	}
+	t.done = true
+	c.txn = nil
+	return nil
+}
+
+// collectUpdates builds the afterimage map for the commit message.
+func (c *Client) collectUpdates() map[core.ObjID][]byte {
+	updates := make(map[core.ObjID][]byte)
+	if c.proto == core.OS {
+		for _, o := range c.cs.Cache.DirtyObjs() {
+			updates[o] = append([]byte(nil), c.objData[o]...)
+		}
+		return updates
+	}
+	for _, p := range c.cs.Cache.DirtyPages() {
+		cp := c.cs.Cache.Page(p)
+		for slot := range cp.Dirty {
+			o := core.ObjID{Page: p, Slot: slot}
+			updates[o] = append([]byte(nil), c.objSlice(p, slot)...)
+		}
+	}
+	return updates
+}
+
+// applyReply installs a data/grant reply, merging the incoming page with
+// local uncommitted updates.
+func (c *Client) applyReply(m *core.Msg) {
+	switch m.Kind {
+	case core.MPageData:
+		// Preserve locally dirty object bytes across the install.
+		var saved map[uint16][]byte
+		if cp := c.cs.Cache.Page(m.Page); cp != nil && len(cp.Dirty) > 0 {
+			saved = make(map[uint16][]byte, len(cp.Dirty))
+			for slot := range cp.Dirty {
+				saved[slot] = append([]byte(nil), c.objSlice(m.Page, slot)...)
+			}
+		}
+		c.cs.OnReply(m)
+		buf := append([]byte(nil), m.Data...)
+		c.pageData[m.Page] = buf
+		for slot, bytes := range saved {
+			copy(buf[int(slot)*c.objSize:], bytes)
+		}
+	case core.MObjData:
+		c.cs.OnReply(m)
+		c.objData[m.Obj] = append([]byte(nil), m.Data...)
+	case core.MGrant:
+		c.cs.OnReply(m)
+	default:
+		panic(fmt.Sprintf("live: unexpected reply %v", m.Kind))
+	}
+}
+
+// objSlice returns the in-place byte slice of an object within its cached
+// page buffer.
+func (c *Client) objSlice(p core.PageID, slot uint16) []byte {
+	buf := c.pageData[p]
+	if buf == nil {
+		panic(fmt.Sprintf("live: page %d bytes missing", p))
+	}
+	off := int(slot) * c.objSize
+	return buf[off : off+c.objSize]
+}
+
+// objBytes returns a copy of object o's current bytes from the cache.
+func (c *Client) objBytes(o core.ObjID) []byte {
+	if c.proto == core.OS {
+		return append([]byte(nil), c.objData[o]...)
+	}
+	return append([]byte(nil), c.objSlice(o.Page, o.Slot)...)
+}
+
+// setObjBytes installs new object bytes in the cache (zero-padded).
+func (c *Client) setObjBytes(o core.ObjID, data []byte) {
+	if c.proto == core.OS {
+		if c.variable {
+			// Size-changing updates: store the exact value.
+			c.objData[o] = append([]byte(nil), data...)
+			return
+		}
+		buf := make([]byte, c.objSize)
+		copy(buf, data)
+		c.objData[o] = buf
+		return
+	}
+	slot := c.objSlice(o.Page, o.Slot)
+	n := copy(slot, data)
+	for i := n; i < len(slot); i++ {
+		slot[i] = 0
+	}
+}

@@ -1,0 +1,579 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testServer(t *testing.T, proto core.Protocol) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{
+		Proto: proto, PageSize: 256, ObjsPerPage: 4, NumPages: 32, SyncWAL: false,
+	})
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	return srv, dir
+}
+
+func attachClient(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cEnd, sEnd := Pipe()
+	if _, err := srv.Attach(sEnd); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	cl, err := Connect(cEnd, ClientOptions{})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	return cl
+}
+
+func o(p core.PageID, s uint16) core.ObjID { return core.ObjID{Page: p, Slot: s} }
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.db")
+	s, err := CreateStore(path, 256, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteObj(o(3, 2), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.ReadObj(o(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("hello")) {
+		t.Fatalf("got %q", got)
+	}
+	if len(got) != s2.ObjSize() {
+		t.Fatalf("object size %d, want %d", len(got), s2.ObjSize())
+	}
+}
+
+func TestStoreRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.db")
+	s, err := CreateStore(path, 256, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WriteObj(o(1, 1), []byte("data"))
+	s.Close()
+	// Flip a byte inside page 1's payload.
+	raw, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[256*2+10] ^= 0xff
+	if err := writeFile(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("corrupted store opened without error")
+	}
+}
+
+func TestStoreBoundsChecks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateStore(filepath.Join(dir, "s.db"), 256, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ReadPage(99); err == nil {
+		t.Fatal("out-of-range page read succeeded")
+	}
+	if err := s.WriteObj(o(0, 9), nil); err == nil {
+		t.Fatal("out-of-range slot write succeeded")
+	}
+	if err := s.WriteObj(o(0, 0), make([]byte, 1000)); err == nil {
+		t.Fatal("oversize object write succeeded")
+	}
+}
+
+func TestBasicCommitAndVisibility(t *testing.T) {
+	for _, proto := range core.AllProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			srv, _ := testServer(t, proto)
+			defer srv.Close()
+			c1 := attachClient(t, srv)
+			defer c1.Close()
+			c2 := attachClient(t, srv)
+			defer c2.Close()
+
+			tx, err := c1.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Write(o(0, 0), []byte("v1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			tx2, err := c2.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tx2.Read(o(0, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(got, []byte("v1")) {
+				t.Fatalf("c2 read %q", got[:8])
+			}
+			if err := tx2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWriteVisibilityAfterCallback(t *testing.T) {
+	for _, proto := range core.AllProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			srv, _ := testServer(t, proto)
+			defer srv.Close()
+			c1 := attachClient(t, srv)
+			defer c1.Close()
+			c2 := attachClient(t, srv)
+			defer c2.Close()
+
+			// c2 caches the object, idle.
+			tx2, _ := c2.Begin()
+			if _, err := tx2.Read(o(1, 1)); err != nil {
+				t.Fatal(err)
+			}
+			tx2.Commit()
+
+			// c1 updates it (callback revokes c2's copy).
+			tx1, _ := c1.Begin()
+			if err := tx1.Write(o(1, 1), []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// c2 must see the new value.
+			tx2b, _ := c2.Begin()
+			got, err := tx2b.Read(o(1, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(got, []byte("new")) {
+				t.Fatalf("stale read: %q", got[:8])
+			}
+			tx2b.Commit()
+		})
+	}
+}
+
+func TestUpdateHelper(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	c := attachClient(t, srv)
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		tx, _ := c.Begin()
+		err := tx.Update(o(2, 0), func(old []byte) []byte {
+			return []byte{old[0] + 1}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, _ := c.Begin()
+	got, _ := tx.Read(o(2, 0))
+	if got[0] != 5 {
+		t.Fatalf("counter = %d, want 5", got[0])
+	}
+	tx.Commit()
+}
+
+func TestVoluntaryAbortRollsBack(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	c := attachClient(t, srv)
+	defer c.Close()
+
+	tx, _ := c.Begin()
+	if err := tx.Write(o(0, 1), []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := c.Begin()
+	got, err := tx2.Read(o(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("aborted write visible: %q", got)
+		}
+	}
+	tx2.Commit()
+}
+
+func TestRecoveryReplaysCommitted(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 16, SyncWAL: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := attachClient(t, srv)
+	tx, _ := c.Begin()
+	tx.Write(o(5, 3), []byte("durable"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: the store was never flushed; only the WAL has the
+	// update. Abandon the server without Close.
+	c.Close()
+	srv.mu.Lock()
+	srv.wal.f.Sync()
+	srv.store.(*Store).f.Close() // drop in-memory state without flushing
+	srv.wal.f.Close()
+	srv.closed = true
+	srv.mu.Unlock()
+
+	srv2, err := OpenServer(dir, ServerOptions{Proto: core.PSAA, SyncWAL: false})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer srv2.Close()
+	c2 := attachClient(t, srv2)
+	defer c2.Close()
+	tx2, _ := c2.Begin()
+	got, err := tx2.Read(o(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("durable")) {
+		t.Fatalf("lost committed update: %q", got[:8])
+	}
+	tx2.Commit()
+}
+
+func TestDeadlockVictimGetsErrAborted(t *testing.T) {
+	srv, _ := testServer(t, core.PS)
+	defer srv.Close()
+	c1 := attachClient(t, srv)
+	defer c1.Close()
+	c2 := attachClient(t, srv)
+	defer c2.Close()
+
+	// Classic crossed writes under page locking: c1 reads page 0 and
+	// writes page 1; c2 reads page 1 and writes page 0.
+	tx1, _ := c1.Begin()
+	tx2, _ := c2.Begin()
+	if _, err := tx1.Read(o(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Read(o(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := tx1.Write(o(1, 1), []byte("a")); err != nil {
+			errs[0] = err
+			return
+		}
+		errs[0] = tx1.Commit()
+	}()
+	go func() {
+		defer wg.Done()
+		if err := tx2.Write(o(0, 1), []byte("b")); err != nil {
+			errs[1] = err
+			return
+		}
+		errs[1] = tx2.Commit()
+	}()
+	wg.Wait()
+	aborts := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrAborted) {
+			aborts++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if aborts != 1 {
+		t.Fatalf("aborts = %d, want exactly 1 (errs: %v)", aborts, errs)
+	}
+}
+
+func TestConcurrentCountersSerializable(t *testing.T) {
+	for _, proto := range core.AllProtocols {
+		t.Run(proto.String(), func(t *testing.T) {
+			srv, _ := testServer(t, proto)
+			defer srv.Close()
+
+			const clients = 4
+			const perClient = 25
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				cl := attachClient(t, srv)
+				defer cl.Close()
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					for n := 0; n < perClient; {
+						tx, err := cl.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						err = tx.Update(o(0, 0), func(old []byte) []byte {
+							v := uint32(old[0]) | uint32(old[1])<<8
+							v++
+							return []byte{byte(v), byte(v >> 8)}
+						})
+						if err == nil {
+							err = tx.Commit()
+						}
+						if err == nil {
+							n++
+							continue
+						}
+						if !errors.Is(err, ErrAborted) {
+							t.Errorf("unexpected error: %v", err)
+							return
+						}
+						// Deadlock victim: retry.
+					}
+				}(cl)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			checker := attachClient(t, srv)
+			defer checker.Close()
+			tx, _ := checker.Begin()
+			got, err := tx.Read(o(0, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+			v := uint32(got[0]) | uint32(got[1])<<8
+			if v != clients*perClient {
+				t.Fatalf("counter = %d, want %d (lost updates!)", v, clients*perClient)
+			}
+		})
+	}
+}
+
+func TestConcurrentDistinctObjectsOnePage(t *testing.T) {
+	// Fine-grained sharing: four clients each increment their own object
+	// on the SAME page. Under PS this serializes; under the hybrid
+	// protocols it interleaves — either way no update may be lost.
+	for _, proto := range []core.Protocol{core.PS, core.PSOO, core.PSOA, core.PSAA, core.PSWT} {
+		t.Run(proto.String(), func(t *testing.T) {
+			srv, _ := testServer(t, proto)
+			defer srv.Close()
+			const clients = 4
+			const perClient = 20
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				cl := attachClient(t, srv)
+				defer cl.Close()
+				slot := uint16(i)
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					for n := 0; n < perClient; {
+						tx, err := cl.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						err = tx.Update(o(3, slot), func(old []byte) []byte {
+							return []byte{old[0] + 1}
+						})
+						if err == nil {
+							err = tx.Commit()
+						}
+						if err == nil {
+							n++
+						} else if !errors.Is(err, ErrAborted) {
+							t.Errorf("unexpected error: %v", err)
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			checker := attachClient(t, srv)
+			defer checker.Close()
+			tx, _ := checker.Begin()
+			for s := uint16(0); s < clients; s++ {
+				got, err := tx.Read(o(3, s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[0] != perClient {
+					t.Fatalf("slot %d = %d, want %d", s, got[0], perClient)
+				}
+			}
+			tx.Commit()
+		})
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	// Wait for the listener.
+	var addr string
+	for i := 0; i < 1000; i++ {
+		if addr = srv.Addr(); addr != "" {
+			break
+		}
+		sleepMs(5)
+	}
+	if addr == "" {
+		t.Fatal("server never listened")
+	}
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Connect(conn, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(o(0, 0), []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := cl.Begin()
+	got, err := tx2.Read(o(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("over tcp")) {
+		t.Fatalf("got %q", got[:10])
+	}
+	tx2.Commit()
+}
+
+func TestClientDisconnectReleasesState(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	c1 := attachClient(t, srv)
+	c2 := attachClient(t, srv)
+	defer c2.Close()
+
+	// c1 caches a page then vanishes mid-transaction.
+	tx1, _ := c1.Begin()
+	if _, err := tx1.Read(o(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// c2's write would need a callback to c1; the disconnect must have
+	// cleaned its copies so this completes rather than hanging.
+	done := make(chan error, 1)
+	go func() {
+		tx2, err := c2.Begin()
+		if err != nil {
+			done <- err
+			return
+		}
+		if err := tx2.Write(o(4, 0), []byte("x")); err != nil {
+			done <- err
+			return
+		}
+		done <- tx2.Commit()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-timeoutChan(t):
+		t.Fatal("write hung after client disconnect")
+	}
+}
+
+func TestServerStatsExposed(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	c := attachClient(t, srv)
+	defer c.Close()
+	tx, _ := c.Begin()
+	tx.Write(o(0, 0), []byte("x"))
+	tx.Commit()
+	st := srv.Stats()
+	if st.WriteReqs == 0 || st.Commits == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+}
+
+func TestWALTornTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SyncOnCommit = false
+	rec := &walRecord{Txn: 1, Client: 1, Commit: true,
+		Objs: []core.ObjID{o(0, 0)}, Images: [][]byte{[]byte("a")}}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn write.
+	if _, err := w.f.WriteAt([]byte{0xde, 0xad, 0xbe}, w.off); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	f, _ := openFile(path)
+	recs, _, err := scanWAL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Txn != 1 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+}

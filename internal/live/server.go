@@ -1,0 +1,423 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ServerOptions configures a live server.
+type ServerOptions struct {
+	Proto       core.Protocol
+	PageSize    int // default 4096
+	ObjsPerPage int // default 20
+	NumPages    int // default 1250
+	// SyncWAL forces an fsync per commit (default true; tests disable it).
+	SyncWAL bool
+	// VariableObjects enables size-changing updates (Section 6.1): the
+	// database uses slotted pages with overflow forwarding instead of
+	// fixed slots. Requires the OS protocol (object transfer), since
+	// clients no longer interpret raw page images.
+	VariableObjects bool
+}
+
+// objectStore abstracts the fixed-slot Store and the variable-size VStore.
+type objectStore interface {
+	ReadPage(p core.PageID) ([]byte, error)
+	ReadObj(o core.ObjID) ([]byte, error)
+	WriteObj(o core.ObjID, data []byte) error
+	Flush() error
+	Close() error
+	NumPages() int
+	ObjsPerPage() int
+	ObjSize() int
+}
+
+func (o *ServerOptions) defaults() {
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.ObjsPerPage == 0 {
+		o.ObjsPerPage = 20
+	}
+	if o.NumPages == 0 {
+		o.NumPages = 1250
+	}
+}
+
+// Server is the live page-server DBMS process: it owns the store and log,
+// runs the protocol engine, and serves client sessions over transports.
+type Server struct {
+	opts   ServerOptions
+	layout *core.Layout
+
+	mu       sync.Mutex
+	eng      *core.ServerEngine
+	store    objectStore
+	wal      *WAL
+	sessions map[core.ClientID]*session
+	nextID   core.ClientID
+	closed   bool
+
+	wg sync.WaitGroup
+
+	ln net.Listener // optional TCP listener
+}
+
+// session is one attached client. Outgoing messages are appended to the
+// outbox while the server lock is held (fixing their order to match the
+// engine's processing order) and shipped by a dedicated writer goroutine;
+// per-session FIFO delivery is a correctness requirement of callback
+// locking (a callback must never overtake the data reply it concerns).
+type session struct {
+	id   core.ClientID
+	conn Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	outbox []core.Msg
+	closed bool
+}
+
+func newSession(id core.ClientID, conn Conn) *session {
+	s := &session{id: id, conn: conn}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends messages for the writer goroutine.
+func (s *session) enqueue(m core.Msg) {
+	s.mu.Lock()
+	s.outbox = append(s.outbox, m)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// close stops the writer.
+func (s *session) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// writer drains the outbox in order.
+func (s *session) writer() {
+	for {
+		s.mu.Lock()
+		for len(s.outbox) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.outbox) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.outbox
+		s.outbox = nil
+		s.mu.Unlock()
+		for i := range batch {
+			if err := s.conn.Send(&batch[i]); err != nil {
+				return // connection gone; serve() will detach
+			}
+		}
+	}
+}
+
+// OpenServer opens (creating if absent) the database in dir and recovers
+// from the log. The directory holds "data.db" and "wal.log".
+func OpenServer(dir string, opts ServerOptions) (*Server, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dataPath := filepath.Join(dir, "data.db")
+	walPath := filepath.Join(dir, "wal.log")
+
+	var store objectStore
+	var err error
+	exists := true
+	if _, statErr := os.Stat(dataPath); errors.Is(statErr, os.ErrNotExist) {
+		exists = false
+	}
+	if opts.VariableObjects {
+		if opts.Proto != core.OS {
+			return nil, fmt.Errorf("live: variable-size objects require the OS protocol (got %v): page images are not client-interpretable", opts.Proto)
+		}
+		if exists {
+			store, err = OpenVStore(dataPath)
+		} else {
+			store, err = CreateVStore(dataPath, opts.PageSize, opts.ObjsPerPage, opts.NumPages)
+		}
+	} else if exists {
+		store, err = OpenStore(dataPath)
+	} else {
+		store, err = CreateStore(dataPath, opts.PageSize, opts.ObjsPerPage, opts.NumPages)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if store.ObjsPerPage() != opts.ObjsPerPage || store.NumPages() != opts.NumPages {
+		opts.ObjsPerPage = store.ObjsPerPage()
+		opts.NumPages = store.NumPages()
+	}
+
+	// Redo recovery: replay committed afterimages, then truncate the log.
+	if _, err := Recover(store, walPath); err != nil {
+		store.Close()
+		return nil, fmt.Errorf("live: recovery failed: %w", err)
+	}
+	wal, err := OpenWAL(walPath)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := wal.Truncate(); err != nil {
+		store.Close()
+		wal.Close()
+		return nil, err
+	}
+	wal.SyncOnCommit = opts.SyncWAL
+
+	layout := core.NewLayout(opts.NumPages, opts.ObjsPerPage)
+	return &Server{
+		opts:     opts,
+		layout:   layout,
+		eng:      core.NewServerEngine(opts.Proto, layout),
+		store:    store,
+		wal:      wal,
+		sessions: make(map[core.ClientID]*session),
+	}, nil
+}
+
+// Proto returns the server's protocol.
+func (s *Server) Proto() core.Protocol { return s.opts.Proto }
+
+// Geometry returns (numPages, objsPerPage, objSize).
+func (s *Server) Geometry() (int, int, int) {
+	return s.store.NumPages(), s.store.ObjsPerPage(), s.store.ObjSize()
+}
+
+// Stats returns a snapshot of the protocol engine statistics.
+func (s *Server) Stats() core.ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Stats
+}
+
+// Attach registers a new client session over conn and starts serving it.
+// It returns the client id assigned to the session.
+func (s *Server) Attach(conn Conn) (core.ClientID, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("live: server closed")
+	}
+	s.nextID++
+	id := s.nextID
+	sess := newSession(id, conn)
+	s.sessions[id] = sess
+	go sess.writer()
+	s.mu.Unlock()
+
+	// Handshake: tell the client its id, the geometry, and the protocol.
+	pages, opp, objSize := s.Geometry()
+	hello := &core.Msg{Kind: core.MHello, To: id, HelloID: id,
+		HelloPages: int32(pages), HelloObjsPP: int32(opp), HelloObjSize: int32(objSize),
+		HelloProto: s.opts.Proto, HelloVariable: s.opts.VariableObjects}
+	sess.enqueue(*hello) // first message on the session, ahead of any grant
+
+	s.wg.Add(1)
+	go s.serve(sess)
+	return id, nil
+}
+
+func (s *Server) detach(id core.ClientID) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessions, id)
+	// Clean up the ghost's protocol state; route any grants this unblocks.
+	s.route(s.eng.Disconnect(id))
+	s.mu.Unlock()
+	sess.close()
+}
+
+// serve pumps one session's incoming messages through the engine.
+func (s *Server) serve(sess *session) {
+	defer s.wg.Done()
+	for {
+		m, err := sess.conn.Recv()
+		if err != nil {
+			s.detach(sess.id)
+			return
+		}
+		m.From = sess.id
+		s.handle(m)
+	}
+}
+
+// handle runs one message through the engine under the server lock and
+// dispatches the responses.
+func (s *Server) handle(m *core.Msg) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// Commit: log afterimages before the engine acks, then install.
+	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
+		rec := &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
+		for _, o := range sortedUpdateKeys(m.Updates) {
+			rec.Objs = append(rec.Objs, o)
+			rec.Images = append(rec.Images, m.Updates[o])
+		}
+		if err := s.wal.Append(rec); err != nil {
+			// Log failure: crash loudly rather than ack an undurable commit.
+			panic(fmt.Sprintf("live: WAL append failed: %v", err))
+		}
+		for i, o := range rec.Objs {
+			if err := s.store.WriteObj(o, rec.Images[i]); err != nil {
+				panic(fmt.Sprintf("live: commit install failed: %v", err))
+			}
+		}
+	}
+
+	s.route(s.eng.Handle(m))
+	s.mu.Unlock()
+}
+
+// route attaches page/object payloads and enqueues the messages on their
+// sessions' outboxes. It must run under the server lock: the payloads must
+// match the lock state at grant time, and the enqueue order is the wire
+// order.
+func (s *Server) route(outs []core.Msg) {
+	for _, om := range outs {
+		sess := s.sessions[om.To]
+		if sess == nil {
+			continue // client departed; detach cleans its state up
+		}
+		switch om.Kind {
+		case core.MPageData:
+			data, err := s.store.ReadPage(om.Page)
+			if err != nil {
+				panic(fmt.Sprintf("live: page read failed: %v", err))
+			}
+			om.Data = data
+		case core.MObjData:
+			data, err := s.store.ReadObj(om.Obj)
+			if err != nil {
+				panic(fmt.Sprintf("live: object read failed: %v", err))
+			}
+			om.Data = data
+		}
+		sess.enqueue(om)
+	}
+}
+
+func sortedUpdateKeys(m map[core.ObjID][]byte) []core.ObjID {
+	keys := make([]core.ObjID, 0, len(m))
+	for o := range m {
+		keys = append(keys, o)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0; j-- {
+			a, b := keys[j], keys[j-1]
+			if a.Page < b.Page || (a.Page == b.Page && a.Slot < b.Slot) {
+				keys[j], keys[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// ListenAndServe accepts TCP connections on addr until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if _, err := s.Attach(NewTCPConn(c)); err != nil {
+			c.Close()
+		}
+	}
+}
+
+// Addr returns the TCP listen address, if listening.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Checkpoint flushes the store and truncates the log.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.Flush(); err != nil {
+		return err
+	}
+	return s.wal.Truncate()
+}
+
+// Close shuts the server down: sessions are closed, the store is flushed
+// (making the log redundant), and files are closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, sess := range s.sessions {
+		sess.close()
+		sess.conn.Close()
+	}
+	s.sessions = map[core.ClientID]*session{}
+	s.mu.Unlock()
+
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	if err := s.store.Close(); err != nil {
+		firstErr = err
+	} else if err := s.wal.Truncate(); err != nil {
+		// Only truncate once the store is durably flushed.
+		firstErr = err
+	}
+	if err := s.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,19 @@
+package live
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func readFile(path string) ([]byte, error)   { return os.ReadFile(path) }
+func writeFile(path string, b []byte) error  { return os.WriteFile(path, b, 0o644) }
+func openFile(path string) (*os.File, error) { return os.Open(path) }
+
+func sleepMs(ms int) { time.Sleep(time.Duration(ms) * time.Millisecond) }
+
+// timeoutChan returns a channel that fires after a generous deadline.
+func timeoutChan(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(10 * time.Second)
+}

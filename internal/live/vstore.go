@@ -1,0 +1,504 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/core"
+)
+
+// VStore is the variable-size object store the paper's Section 6.1 calls
+// for: objects can grow and shrink across updates. Pages use a slotted
+// layout (slot directory + heap), are compacted in place when fragmented,
+// and an object that no longer fits its home page is moved to an overflow
+// region with a forwarding pointer left in the home slot (the standard
+// technique the paper cites from [Astr76]). Reads always resolve through
+// the home slot, so object identity never changes.
+//
+// Page layout (payload = pageSize - 4-byte CRC trailer):
+//
+//	[0:2]   heapStart (offset of the lowest heap byte used)
+//	[2:..]  slot directory: objsPerPage entries of (off uint16, len uint16)
+//	        off == 0xFFFF: slot empty (never written)
+//	        len == fwdLen: slot holds an 8-byte forwarding pointer
+//	[heapStart:] object bytes, allocated downward from the end
+//
+// The overflow region starts at page numPages and grows as needed; each
+// overflow page uses the same layout. Forwarded objects occupy exactly one
+// overflow slot and never forward twice (a grown-again object is relocated
+// within the overflow region).
+type VStore struct {
+	f           *os.File
+	pageSize    int
+	objsPerPage int
+	numPages    int // home pages; overflow pages live beyond
+
+	frames [][]byte // encoded page payloads, including overflow pages
+	dirty  []bool
+}
+
+const (
+	slotEmpty = 0xFFFF
+	fwdLen    = 0xFFFF // directory len marking a forwarding pointer
+	fwdBytes  = 8      // encoded forward pointer: page uint32, slot uint16, pad
+	vMagic    = 0x0DB5_94AB
+)
+
+func (s *VStore) payload() int { return s.pageSize - 4 }
+func (s *VStore) dirSize() int { return 2 + 4*s.objsPerPage }
+
+// MaxObjSize is the largest storable object: the page heap minus the
+// per-slot forward-pointer reservation (every other slot must always be
+// able to hold at least a forwarding pointer, or an overflow could become
+// unrecordable).
+func (s *VStore) MaxObjSize() int {
+	return s.payload() - s.dirSize() - fwdBytes*(s.objsPerPage-1)
+}
+
+// NumPages returns the number of home pages.
+func (s *VStore) NumPages() int { return s.numPages }
+
+// ObjsPerPage returns the per-page slot count.
+func (s *VStore) ObjsPerPage() int { return s.objsPerPage }
+
+// CreateVStore creates (truncating) a variable-object store.
+func CreateVStore(path string, pageSize, objsPerPage, numPages int) (*VStore, error) {
+	s := &VStore{pageSize: pageSize, objsPerPage: objsPerPage, numPages: numPages}
+	if pageSize < 64 || objsPerPage <= 0 || numPages <= 0 || s.MaxObjSize() < 16 {
+		return nil, fmt.Errorf("live: bad vstore geometry %d/%d/%d", pageSize, objsPerPage, numPages)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
+	s.frames = make([][]byte, numPages)
+	s.dirty = make([]bool, numPages)
+	for i := range s.frames {
+		s.frames[i] = s.emptyPage()
+		s.dirty[i] = true
+	}
+	if err := s.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenVStore opens an existing variable-object store, verifying checksums.
+func OpenVStore(path string) (*VStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 24)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: reading vstore header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != vMagic {
+		f.Close()
+		return nil, fmt.Errorf("live: %s is not a vstore file", path)
+	}
+	s := &VStore{
+		f:           f,
+		pageSize:    int(binary.LittleEndian.Uint32(hdr[4:])),
+		objsPerPage: int(binary.LittleEndian.Uint32(hdr[8:])),
+		numPages:    int(binary.LittleEndian.Uint32(hdr[12:])),
+	}
+	totalPages := int(binary.LittleEndian.Uint32(hdr[16:]))
+	s.frames = make([][]byte, totalPages)
+	s.dirty = make([]bool, totalPages)
+	buf := make([]byte, s.pageSize)
+	for p := 0; p < totalPages; p++ {
+		if _, err := f.ReadAt(buf, int64(s.pageSize)*int64(p+1)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("live: reading vstore page %d: %w", p, err)
+		}
+		want := binary.LittleEndian.Uint32(buf[s.payload():])
+		if got := crc32.ChecksumIEEE(buf[:s.payload()]); got != want {
+			f.Close()
+			return nil, fmt.Errorf("live: vstore page %d checksum mismatch", p)
+		}
+		s.frames[p] = append([]byte(nil), buf[:s.payload()]...)
+	}
+	return s, nil
+}
+
+func (s *VStore) writeHeader() error {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], vMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(s.pageSize))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.objsPerPage))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(s.numPages))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(s.frames)))
+	_, err := s.f.WriteAt(hdr, 0)
+	return err
+}
+
+// emptyPage builds a fresh payload: empty directory, heap at the end.
+func (s *VStore) emptyPage() []byte {
+	b := make([]byte, s.payload())
+	binary.LittleEndian.PutUint16(b[0:], uint16(s.payload()))
+	for i := 0; i < s.objsPerPage; i++ {
+		binary.LittleEndian.PutUint16(b[2+4*i:], slotEmpty)
+	}
+	return b
+}
+
+// ---- Slot directory accessors ----
+
+func (s *VStore) slotAt(frame []byte, slot int) (off, ln int) {
+	off = int(binary.LittleEndian.Uint16(frame[2+4*slot:]))
+	ln = int(binary.LittleEndian.Uint16(frame[2+4*slot+2:]))
+	return off, ln
+}
+
+func (s *VStore) setSlot(frame []byte, slot, off, ln int) {
+	binary.LittleEndian.PutUint16(frame[2+4*slot:], uint16(off))
+	binary.LittleEndian.PutUint16(frame[2+4*slot+2:], uint16(ln))
+}
+
+func (s *VStore) heapStart(frame []byte) int { return int(binary.LittleEndian.Uint16(frame[0:])) }
+func (s *VStore) setHeapStart(frame []byte, v int) {
+	binary.LittleEndian.PutUint16(frame[0:], uint16(v))
+}
+
+// usedBytes sums live object bytes on a page (for compaction decisions).
+func (s *VStore) usedBytes(frame []byte) int {
+	n := 0
+	for i := 0; i < s.objsPerPage; i++ {
+		off, ln := s.slotAt(frame, i)
+		if off == slotEmpty {
+			continue
+		}
+		if ln == fwdLen {
+			n += fwdBytes
+		} else {
+			n += ln
+		}
+	}
+	return n
+}
+
+// compact rewrites the heap contiguously, reclaiming holes.
+func (s *VStore) compact(p int) {
+	old := s.frames[p]
+	fresh := s.emptyPage()
+	heap := s.payload()
+	for i := 0; i < s.objsPerPage; i++ {
+		off, ln := s.slotAt(old, i)
+		if off == slotEmpty {
+			continue
+		}
+		size := ln
+		if ln == fwdLen {
+			size = fwdBytes
+		}
+		heap -= size
+		copy(fresh[heap:], old[off:off+size])
+		s.setSlot(fresh, i, heap, ln)
+	}
+	s.setHeapStart(fresh, heap)
+	s.frames[p] = fresh
+	s.dirty[p] = true
+}
+
+// freeSpace returns contiguous free bytes; afterCompact also counts holes.
+func (s *VStore) freeSpace(p int, afterCompact bool) int {
+	frame := s.frames[p]
+	if afterCompact {
+		return s.payload() - s.dirSize() - s.usedBytes(frame)
+	}
+	return s.heapStart(frame) - s.dirSize()
+}
+
+// reservedBytes computes the page's committed capacity excluding one slot:
+// each slot accounts for its placement (value or pointer), floored at
+// fwdBytes so that any slot can always be converted to a forward pointer.
+func (s *VStore) reservedBytes(frame []byte, except int) int {
+	total := 0
+	for i := 0; i < s.objsPerPage; i++ {
+		if i == except {
+			continue
+		}
+		off, ln := s.slotAt(frame, i)
+		size := 0
+		if off != slotEmpty {
+			if ln == fwdLen {
+				size = fwdBytes
+			} else {
+				size = ln
+			}
+		}
+		if size < fwdBytes {
+			size = fwdBytes
+		}
+		total += size
+	}
+	return total
+}
+
+// fitsInline reports whether a value of n bytes may be placed inline in
+// the given home slot without violating the per-slot pointer reservation.
+func (s *VStore) fitsInline(p, slot, n int) bool {
+	eff := n
+	if eff < fwdBytes {
+		eff = fwdBytes
+	}
+	return s.reservedBytes(s.frames[p], slot)+eff <= s.payload()-s.dirSize()
+}
+
+// allocInPage reserves n heap bytes on page p (compacting if that helps)
+// and returns the offset, or -1 if the page cannot hold them.
+func (s *VStore) allocInPage(p, n int) int {
+	if s.freeSpace(p, false) < n {
+		if s.freeSpace(p, true) < n {
+			return -1
+		}
+		s.compact(p)
+	}
+	frame := s.frames[p]
+	off := s.heapStart(frame) - n
+	s.setHeapStart(frame, off)
+	return off
+}
+
+// ---- Object operations ----
+
+func (s *VStore) checkHome(o objAddr) error {
+	if o.page < 0 || o.page >= s.numPages || o.slot < 0 || o.slot >= s.objsPerPage {
+		return fmt.Errorf("live: object %d.%d out of range", o.page, o.slot)
+	}
+	return nil
+}
+
+// objAddr is an internal (page, slot) pair that may address overflow pages.
+type objAddr struct{ page, slot int }
+
+func (s *VStore) readFwd(frame []byte, off int) objAddr {
+	return objAddr{
+		page: int(binary.LittleEndian.Uint32(frame[off:])),
+		slot: int(binary.LittleEndian.Uint16(frame[off+4:])),
+	}
+}
+
+func (s *VStore) writeFwd(frame []byte, off int, a objAddr) {
+	binary.LittleEndian.PutUint32(frame[off:], uint32(a.page))
+	binary.LittleEndian.PutUint16(frame[off+4:], uint16(a.slot))
+	binary.LittleEndian.PutUint16(frame[off+6:], 0)
+}
+
+// ReadVObj returns the current bytes of the object (nil if never written).
+func (s *VStore) ReadVObj(page, slot int) ([]byte, error) {
+	home := objAddr{page, slot}
+	if err := s.checkHome(home); err != nil {
+		return nil, err
+	}
+	frame := s.frames[home.page]
+	off, ln := s.slotAt(frame, home.slot)
+	if off == slotEmpty {
+		return nil, nil
+	}
+	if ln == fwdLen {
+		tgt := s.readFwd(frame, off)
+		tFrame := s.frames[tgt.page]
+		tOff, tLn := s.slotAt(tFrame, tgt.slot)
+		if tOff == slotEmpty || tLn == fwdLen {
+			return nil, fmt.Errorf("live: dangling forward pointer %d.%d -> %d.%d", page, slot, tgt.page, tgt.slot)
+		}
+		return append([]byte(nil), tFrame[tOff:tOff+tLn]...), nil
+	}
+	return append([]byte(nil), frame[off:off+ln]...), nil
+}
+
+// IsForwarded reports whether the object currently lives in the overflow
+// region (diagnostics and tests).
+func (s *VStore) IsForwarded(page, slot int) bool {
+	off, ln := s.slotAt(s.frames[page], slot)
+	return off != slotEmpty && ln == fwdLen
+}
+
+// WriteVObj installs a new value for the object, relocating as needed.
+func (s *VStore) WriteVObj(page, slot int, data []byte) error {
+	home := objAddr{page, slot}
+	if err := s.checkHome(home); err != nil {
+		return err
+	}
+	if len(data) > s.MaxObjSize() {
+		return fmt.Errorf("live: object %d bytes exceeds max %d", len(data), s.MaxObjSize())
+	}
+	frame := s.frames[home.page]
+	off, ln := s.slotAt(frame, home.slot)
+
+	// Drop any existing placement first (the heap hole is reclaimed by a
+	// later compaction) and remember a forwarded target for freeing.
+	var oldFwd *objAddr
+	if off != slotEmpty && ln == fwdLen {
+		a := s.readFwd(frame, off)
+		oldFwd = &a
+	}
+
+	// Try in place: exact or smaller fits the current placement directly.
+	if off != slotEmpty && ln != fwdLen && len(data) <= ln {
+		copy(frame[off:], data)
+		s.setSlot(frame, home.slot, off, len(data))
+		s.dirty[home.page] = true
+		if oldFwd != nil {
+			s.freeSlot(*oldFwd)
+		}
+		return nil
+	}
+
+	// Allocate in the home page if the reservation discipline allows it.
+	s.setSlot(frame, home.slot, slotEmpty, 0) // free old placement for compaction
+	if s.fitsInline(home.page, home.slot, len(data)) {
+		newOff := s.allocInPage(home.page, len(data))
+		if newOff < 0 {
+			return fmt.Errorf("live: internal: reservation admitted %dB but page %d is full", len(data), home.page)
+		}
+		frame = s.frames[home.page] // compaction may have replaced it
+		copy(frame[newOff:], data)
+		s.setSlot(frame, home.slot, newOff, len(data))
+		s.dirty[home.page] = true
+		if oldFwd != nil {
+			s.freeSlot(*oldFwd)
+		}
+		return nil
+	}
+
+	// Overflow: place the value in the overflow region and leave a
+	// forwarding pointer at home.
+	if oldFwd != nil {
+		s.freeSlot(*oldFwd)
+	}
+	tgt, err := s.allocOverflow(len(data))
+	if err != nil {
+		return err
+	}
+	tFrame := s.frames[tgt.page]
+	tOff, _ := s.slotAt(tFrame, tgt.slot)
+	copy(tFrame[tOff:], data)
+	s.dirty[tgt.page] = true
+
+	frame = s.frames[home.page]
+	fOff := s.allocInPage(home.page, fwdBytes)
+	if fOff < 0 {
+		return fmt.Errorf("live: page %d cannot hold a forward pointer", home.page)
+	}
+	frame = s.frames[home.page]
+	s.writeFwd(frame, fOff, tgt)
+	s.setSlot(frame, home.slot, fOff, fwdLen)
+	s.dirty[home.page] = true
+	return nil
+}
+
+// freeSlot releases an overflow placement.
+func (s *VStore) freeSlot(a objAddr) {
+	frame := s.frames[a.page]
+	s.setSlot(frame, a.slot, slotEmpty, 0)
+	s.dirty[a.page] = true
+}
+
+// allocOverflow finds (or creates) an overflow page with a free slot and
+// enough space, reserving the bytes and returning the address.
+func (s *VStore) allocOverflow(n int) (objAddr, error) {
+	for p := s.numPages; p < len(s.frames); p++ {
+		slot := s.freeSlotIn(p)
+		if slot < 0 {
+			continue
+		}
+		if off := s.allocInPage(p, n); off >= 0 {
+			s.setSlot(s.frames[p], slot, off, n)
+			s.dirty[p] = true
+			return objAddr{p, slot}, nil
+		}
+	}
+	// Grow the overflow region.
+	p := len(s.frames)
+	if p >= 1<<31 {
+		return objAddr{}, fmt.Errorf("live: overflow region exhausted")
+	}
+	s.frames = append(s.frames, s.emptyPage())
+	s.dirty = append(s.dirty, true)
+	off := s.allocInPage(p, n)
+	s.setSlot(s.frames[p], 0, off, n)
+	return objAddr{p, 0}, nil
+}
+
+func (s *VStore) freeSlotIn(p int) int {
+	frame := s.frames[p]
+	for i := 0; i < s.objsPerPage; i++ {
+		if off, _ := s.slotAt(frame, i); off == slotEmpty {
+			return i
+		}
+	}
+	return -1
+}
+
+// OverflowPages returns the current overflow region size (diagnostics).
+func (s *VStore) OverflowPages() int { return len(s.frames) - s.numPages }
+
+// Flush writes dirty pages with checksums and syncs.
+func (s *VStore) Flush() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	buf := make([]byte, s.pageSize)
+	for p := range s.frames {
+		if !s.dirty[p] {
+			continue
+		}
+		copy(buf, s.frames[p])
+		binary.LittleEndian.PutUint32(buf[s.payload():], crc32.ChecksumIEEE(s.frames[p]))
+		if _, err := s.f.WriteAt(buf, int64(s.pageSize)*int64(p+1)); err != nil {
+			return err
+		}
+		s.dirty[p] = false
+	}
+	return s.f.Sync()
+}
+
+// ---- objectStore adapter (live server integration) ----
+
+// ReadPage is unsupported: variable-object databases ship objects by
+// value (OS protocol); raw page images are server-internal.
+func (s *VStore) ReadPage(p core.PageID) ([]byte, error) {
+	return nil, fmt.Errorf("live: page shipping unsupported with variable-size objects")
+}
+
+// ReadObj resolves the object through its home slot. Objects never
+// written return a zero-length value.
+func (s *VStore) ReadObj(o core.ObjID) ([]byte, error) {
+	b, err := s.ReadVObj(int(o.Page), int(o.Slot))
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = []byte{}
+	}
+	return b, nil
+}
+
+// WriteObj installs an afterimage, relocating the object as needed.
+func (s *VStore) WriteObj(o core.ObjID, data []byte) error {
+	return s.WriteVObj(int(o.Page), int(o.Slot), data)
+}
+
+// ObjSize reports the maximum object size (the advertised write limit).
+func (s *VStore) ObjSize() int { return s.MaxObjSize() }
+
+// Close flushes and closes.
+func (s *VStore) Close() error {
+	if err := s.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,250 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newVStore(t *testing.T) *VStore {
+	t.Helper()
+	s, err := CreateVStore(filepath.Join(t.TempDir(), "v.db"), 512, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestVStoreBasicReadWrite(t *testing.T) {
+	s := newVStore(t)
+	if got, err := s.ReadVObj(0, 0); err != nil || got != nil {
+		t.Fatalf("unwritten object = %v, %v", got, err)
+	}
+	if err := s.WriteVObj(0, 0, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadVObj(0, 0)
+	if err != nil || !bytes.Equal(got, []byte("short")) {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	// Exact length preserved (no padding).
+	if len(got) != 5 {
+		t.Fatalf("length %d, want 5", len(got))
+	}
+}
+
+func TestVStoreGrowShrinkInPage(t *testing.T) {
+	s := newVStore(t)
+	o := []byte("initial value")
+	if err := s.WriteVObj(2, 3, o); err != nil {
+		t.Fatal(err)
+	}
+	grown := bytes.Repeat([]byte("x"), 100)
+	if err := s.WriteVObj(2, 3, grown); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.ReadVObj(2, 3); !bytes.Equal(got, grown) {
+		t.Fatal("grown value wrong")
+	}
+	if s.IsForwarded(2, 3) {
+		t.Fatal("in-page growth should not forward")
+	}
+	if err := s.WriteVObj(2, 3, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.ReadVObj(2, 3); !bytes.Equal(got, []byte("t")) {
+		t.Fatal("shrunk value wrong")
+	}
+}
+
+func TestVStoreCompactionReclaimsHoles(t *testing.T) {
+	s := newVStore(t)
+	// Fill all slots of page 1 with mid-size values, then grow each in
+	// turn: without compaction the heap would exhaust immediately.
+	max := s.MaxObjSize()
+	per := (max - 32) / s.ObjsPerPage()
+	for i := 0; i < s.ObjsPerPage(); i++ {
+		if err := s.WriteVObj(1, i, bytes.Repeat([]byte{byte(i)}, per)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		for i := 0; i < s.ObjsPerPage(); i++ {
+			v := bytes.Repeat([]byte{byte(round*16 + i)}, per)
+			if err := s.WriteVObj(1, i, v); err != nil {
+				t.Fatalf("round %d slot %d: %v", round, i, err)
+			}
+		}
+	}
+	for i := 0; i < s.ObjsPerPage(); i++ {
+		got, _ := s.ReadVObj(1, i)
+		if len(got) != per || got[0] != byte(5*16+i) {
+			t.Fatalf("slot %d corrupted after compaction churn", i)
+		}
+	}
+	if s.OverflowPages() != 0 {
+		t.Fatalf("compaction churn spilled to overflow (%d pages)", s.OverflowPages())
+	}
+}
+
+func TestVStoreOverflowForwarding(t *testing.T) {
+	s := newVStore(t)
+	// Occupy most of page 4, then grow one object beyond what fits.
+	big := bytes.Repeat([]byte("A"), s.MaxObjSize()*3/4)
+	if err := s.WriteVObj(4, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	huge := bytes.Repeat([]byte("B"), s.MaxObjSize()/2)
+	if err := s.WriteVObj(4, 1, huge); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsForwarded(4, 1) {
+		t.Fatal("second object should be forwarded")
+	}
+	if got, _ := s.ReadVObj(4, 1); !bytes.Equal(got, huge) {
+		t.Fatal("forwarded value wrong")
+	}
+	if got, _ := s.ReadVObj(4, 0); !bytes.Equal(got, big) {
+		t.Fatal("resident value damaged by forwarding")
+	}
+	if s.OverflowPages() == 0 {
+		t.Fatal("no overflow pages allocated")
+	}
+	// Shrinking the forwarded object brings it home again.
+	if err := s.WriteVObj(4, 1, []byte("small again")); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsForwarded(4, 1) {
+		t.Fatal("shrunk object should return to its home page")
+	}
+	if got, _ := s.ReadVObj(4, 1); !bytes.Equal(got, []byte("small again")) {
+		t.Fatal("shrunk value wrong")
+	}
+}
+
+func TestVStoreRejectsOversize(t *testing.T) {
+	s := newVStore(t)
+	if err := s.WriteVObj(0, 0, make([]byte, s.MaxObjSize()+1)); err == nil {
+		t.Fatal("oversize write accepted")
+	}
+	if err := s.WriteVObj(99, 0, []byte("x")); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestVStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.db")
+	s, err := CreateVStore(path, 512, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("Z"), s.MaxObjSize()/2)
+	s.WriteVObj(0, 0, []byte("inline"))
+	s.WriteVObj(1, 0, bytes.Repeat([]byte("Y"), s.MaxObjSize()*3/4))
+	s.WriteVObj(1, 1, big) // forwarded
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenVStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, _ := s2.ReadVObj(0, 0); !bytes.Equal(got, []byte("inline")) {
+		t.Fatal("inline object lost")
+	}
+	if got, _ := s2.ReadVObj(1, 1); !bytes.Equal(got, big) {
+		t.Fatal("forwarded object lost")
+	}
+	if !s2.IsForwarded(1, 1) {
+		t.Fatal("forwarding not persisted")
+	}
+}
+
+// TestVStoreRandomizedChurn runs random variable-size writes across the
+// store and checks every object against a shadow map, exercising resize,
+// compaction, forwarding, and un-forwarding together.
+func TestVStoreRandomizedChurn(t *testing.T) {
+	s := newVStore(t)
+	rng := rand.New(rand.NewSource(3))
+	shadow := make(map[[2]int][]byte)
+	for step := 0; step < 3000; step++ {
+		p, sl := rng.Intn(s.NumPages()), rng.Intn(s.ObjsPerPage())
+		var size int
+		switch rng.Intn(4) {
+		case 0:
+			size = rng.Intn(16) // tiny
+		case 1:
+			size = 16 + rng.Intn(64)
+		case 2:
+			size = 64 + rng.Intn(s.MaxObjSize()/4)
+		default:
+			size = rng.Intn(s.MaxObjSize() + 1) // anything up to max
+		}
+		val := make([]byte, size)
+		for i := range val {
+			val[i] = byte(rng.Intn(256))
+		}
+		if err := s.WriteVObj(p, sl, val); err != nil {
+			t.Fatalf("step %d write(%d.%d, %dB): %v", step, p, sl, size, err)
+		}
+		shadow[[2]int{p, sl}] = val
+
+		// Spot-check a random object every step.
+		q, qs := rng.Intn(s.NumPages()), rng.Intn(s.ObjsPerPage())
+		want := shadow[[2]int{q, qs}]
+		got, err := s.ReadVObj(q, qs)
+		if err != nil {
+			t.Fatalf("step %d read: %v", step, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("step %d: object %d.%d mismatch (len %d vs %d)", step, q, qs, len(got), len(want))
+		}
+	}
+	// Full audit + persistence round trip.
+	for k, want := range shadow {
+		got, err := s.ReadVObj(k[0], k[1])
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("final audit: object %v mismatch (%v)", k, err)
+		}
+	}
+	t.Logf("churn done: %d overflow pages", s.OverflowPages())
+}
+
+func TestVStoreChurnSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.db")
+	s, err := CreateVStore(path, 512, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	shadow := make(map[[2]int][]byte)
+	for step := 0; step < 500; step++ {
+		p, sl := rng.Intn(8), rng.Intn(8)
+		val := []byte(fmt.Sprintf("step-%d-%s", step, bytes.Repeat([]byte("x"), rng.Intn(200))))
+		if err := s.WriteVObj(p, sl, val); err != nil {
+			t.Fatal(err)
+		}
+		shadow[[2]int{p, sl}] = val
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenVStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range shadow {
+		got, err := s2.ReadVObj(k[0], k[1])
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("object %v lost across reopen", k)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Conn is a bidirectional, ordered message channel between one client and
+// the server. Both in-process and TCP transports implement it.
+type Conn interface {
+	// Send transmits one message. Safe for concurrent use.
+	Send(m *core.Msg) error
+	// Recv blocks for the next message. Single consumer.
+	Recv() (*core.Msg, error)
+	// Close tears the connection down; pending Recv returns an error.
+	Close() error
+}
+
+// ---- In-process transport ----
+
+// chanConn is one endpoint of an in-process connection.
+type chanConn struct {
+	in   chan *core.Msg
+	out  chan *core.Msg
+	once *sync.Once // shared: either side's Close tears down both
+	done chan struct{}
+}
+
+// Pipe creates a connected in-process transport pair (client end, server
+// end). The buffer keeps senders from blocking under normal operation.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan *core.Msg, 1024)
+	b2a := make(chan *core.Msg, 1024)
+	done := make(chan struct{})
+	once := new(sync.Once)
+	a := &chanConn{in: b2a, out: a2b, done: done, once: once}
+	b := &chanConn{in: a2b, out: b2a, done: done, once: once}
+	return a, b
+}
+
+func (c *chanConn) Send(m *core.Msg) error {
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("live: connection closed")
+	}
+}
+
+func (c *chanConn) Recv() (*core.Msg, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, fmt.Errorf("live: connection closed")
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// ---- TCP/gob transport ----
+
+// tcpConn frames messages with encoding/gob over a net.Conn.
+type tcpConn struct {
+	c      net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	sendMu sync.Mutex
+}
+
+// NewTCPConn wraps an established net.Conn.
+func NewTCPConn(c net.Conn) Conn {
+	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Dial connects to a live server at addr.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpConn) Send(m *core.Msg) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	return t.enc.Encode(m)
+}
+
+func (t *tcpConn) Recv() (*core.Msg, error) {
+	var m core.Msg
+	if err := t.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }

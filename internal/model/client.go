@@ -1,0 +1,188 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// client drives one workstation: the transaction-source loop runs as a
+// simulation process, while callbacks and de-escalation requests are
+// handled event-style on arrival (the Client DBMS process serves them
+// concurrently with the running transaction, as in the paper's model).
+type client struct {
+	sys *system
+	id  core.ClientID
+	cs  *core.ClientState
+	cpu *sim.CPU
+	gen *workload.Generator
+	rng *rand.Rand
+
+	mbox    sim.Mailbox[core.Msg] // replies to the transaction's requests
+	nextReq int64
+
+	// outQ/outBusy implement in-order server->client delivery: a message
+	// (and its buffer fetch, if it carries data) must be fully delivered
+	// before the next one to the same client starts. Without this a
+	// callback could overtake a data reply delayed by a disk read and
+	// revoke an object the client has not yet installed — a stale read.
+	outQ    []core.Msg
+	outBusy bool
+
+	// debugDeliver, when set (tests only), observes every message
+	// delivered to this client before it is processed.
+	debugDeliver func(m *core.Msg)
+}
+
+// deliver routes an arrived server message (receive CPU already charged).
+func (cl *client) deliver(m core.Msg) {
+	if cl.debugDeliver != nil {
+		cl.debugDeliver(&m)
+	}
+	switch m.Kind {
+	case core.MCallback:
+		reply, _ := cl.cs.HandleCallback(&m)
+		cl.sys.toServer(cl, *reply)
+	case core.MDeescReq:
+		cl.sys.toServer(cl, *cl.cs.HandleDeescReq(&m))
+	default:
+		if !m.Kind.IsReply() {
+			panic(fmt.Sprintf("model: client %d received %v", cl.id, m.Kind))
+		}
+		cl.mbox.Send(m)
+	}
+}
+
+// run is the transaction source: an endless stream of transactions,
+// resubmitted with the same reference string after an abort.
+func (cl *client) run(p *sim.Proc) {
+	for done := 0; cl.sys.cfg.TxnLimit <= 0 || done < cl.sys.cfg.TxnLimit; done++ {
+		refs := cl.gen.NextTxn()
+		start := p.Now()
+		for {
+			if cl.runTxn(p, refs) {
+				break
+			}
+			cl.sys.recordAbort()
+		}
+		cl.sys.recordCommit(p.Now() - start)
+		if cl.sys.cfg.ThinkTime > 0 {
+			p.Hold(cl.sys.cfg.ThinkTime)
+		}
+	}
+}
+
+// runTxn executes one transaction attempt; false means it was aborted (as
+// a deadlock victim) and must be resubmitted.
+func (cl *client) runTxn(p *sim.Proc, refs []workload.Ref) bool {
+	cfg := &cl.sys.cfg
+	cl.cs.Begin(cl.sys.newTxnID())
+	for _, ref := range refs {
+		if ref.Write {
+			cl.cs.StartWrite(ref.Obj)
+			if m := cl.cs.NeedForWrite(ref.Obj); m != nil {
+				rep, ok := cl.request(p, m)
+				if !ok {
+					return false
+				}
+				cl.applyReply(p, &rep)
+			}
+			// Under page-granularity copy tracking the grant can be
+			// data-less while our copy of the object went stale (an
+			// adaptive callback marked it); fetch the page before writing.
+			if cl.cs.NeedsRefetch(ref.Obj) {
+				rm := cl.cs.NeedForRead(ref.Obj)
+				rep, ok := cl.request(p, rm)
+				if !ok {
+					return false
+				}
+				cl.applyReply(p, &rep)
+			}
+			cl.verifyRead(ref.Obj)
+			cl.cs.RecordWrite(ref.Obj)
+			cl.cpu.UseUserP(p, 2*cfg.ObjInst)
+		} else {
+			if m := cl.cs.NeedForRead(ref.Obj); m != nil {
+				rep, ok := cl.request(p, m)
+				if !ok {
+					return false
+				}
+				cl.applyReply(p, &rep)
+			}
+			cl.verifyRead(ref.Obj)
+			cl.cs.RecordRead(ref.Obj)
+			cl.cpu.UseUserP(p, cfg.ObjInst)
+		}
+	}
+	// Commit. Read-only transactions (no updates) commit locally under
+	// callback locking: cached copies are read permission.
+	if len(cl.cs.Cache.DirtyPages()) > 0 || len(cl.cs.Cache.DirtyObjs()) > 0 {
+		m := cl.cs.BuildCommit()
+		if cl.sys.oracle != nil {
+			// The commit is irrevocable once sent: advance the oracle.
+			cl.sys.oracle.commit(cl, cl.cs.WriteSetObjs(), cl.cs.Txn)
+		}
+		rep, ok := cl.request(p, m)
+		if !ok {
+			panic("model: commit request aborted")
+		}
+		if rep.Kind != core.MCommitAck {
+			panic(fmt.Sprintf("model: commit reply %v", rep.Kind))
+		}
+	}
+	for _, ack := range cl.cs.OnCommitAck() {
+		cl.sys.toServer(cl, ack)
+	}
+	return true
+}
+
+// applyReply installs a data/grant reply; a client-side copy merge charges
+// CopyMergeInst per merged object. The local state is updated *before* any
+// CPU charge so a concurrent de-escalation request sees the new write.
+func (cl *client) applyReply(p *sim.Proc, rep *core.Msg) {
+	merged := cl.cs.OnReply(rep)
+	if cl.sys.oracle != nil {
+		cl.sys.oracle.applyReply(cl, rep)
+	}
+	if merged > 0 {
+		cl.cpu.UseSystemP(p, float64(merged)*cl.sys.cfg.CopyMergeInst)
+	}
+}
+
+// verifyRead checks the coherence oracle for a locally-satisfiable access.
+func (cl *client) verifyRead(obj core.ObjID) {
+	if cl.sys.oracle == nil {
+		return
+	}
+	readable := cl.cs.Cache.Readable(obj)
+	if cl.sys.cfg.Proto == core.OS {
+		readable = cl.cs.Cache.HasObj(obj)
+	}
+	if readable {
+		cl.sys.oracle.checkRead(cl, obj, cl.cs.Wrote(obj))
+	}
+}
+
+// request sends a request and parks until its reply arrives. ok is false
+// when the reply is an abort notification (the transaction has been
+// cleaned up and must restart).
+func (cl *client) request(p *sim.Proc, m *core.Msg) (core.Msg, bool) {
+	cl.nextReq++
+	m.Req = cl.nextReq
+	m.Txn = cl.cs.Txn
+	cl.sys.toServer(cl, *m)
+	rep := cl.mbox.Recv(p)
+	if rep.Kind == core.MAbortYou {
+		for _, am := range cl.cs.Abort() {
+			cl.sys.toServer(cl, am)
+		}
+		return rep, false
+	}
+	if rep.Req != m.Req {
+		panic(fmt.Sprintf("model: client %d reply mismatch: got %d want %d", cl.id, rep.Req, m.Req))
+	}
+	return rep, true
+}

@@ -1,0 +1,136 @@
+// Package model is the simulated page-server/object-server OODBMS of
+// Section 4 of the paper: one server plus NumClients client workstations
+// connected by a LAN, driven by the protocol state machines in
+// internal/core on top of the discrete-event engine in internal/sim.
+package model
+
+import (
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Config carries the system and overhead parameters of Table 1 plus the
+// workload and run control. All instruction costs are in instructions;
+// times in seconds; sizes in bytes.
+type Config struct {
+	Proto core.Protocol
+
+	NumClients int
+
+	ClientMIPS float64
+	ServerMIPS float64
+
+	// Buffer sizes in pages. The paper sets them as fractions of the
+	// database (25% client, 50% server); DefaultConfig computes that.
+	ClientBufPages int
+	ServerBufPages int
+
+	NumDisks    int
+	MinDiskTime float64
+	MaxDiskTime float64
+
+	NetworkMbps float64
+
+	PageSize    int
+	ObjsPerPage int
+	DBPages     int
+
+	FixedMsgInst    float64 // per message
+	PerByteMsgInst  float64 // per byte (paper: 10,000 per 4KB page)
+	ControlMsgBytes int
+
+	LockInst         float64 // per lock/unlock pair
+	RegisterCopyInst float64 // per copy register/unregister
+	DiskOverheadInst float64 // CPU cost to initiate a disk I/O
+	CopyMergeInst    float64 // per differing object when merging copies
+
+	ObjInst   float64 // client CPU per object read (doubled for writes)
+	ThinkTime float64 // delay between transactions at a client
+
+	Workload workload.Spec
+
+	// Run control.
+	Seed    int64
+	Warmup  float64 // seconds of virtual time discarded
+	Measure float64 // seconds of measured virtual time
+	Batches int     // batch count for confidence intervals
+
+	// Verify enables the coherence oracle: every locally-satisfied read is
+	// checked against the globally last-committed version of the object,
+	// panicking on a stale read. Test/validation use; adds overhead.
+	Verify bool
+
+	// TxnLimit, if positive, stops each client after that many commits so
+	// the system drains; tests then assert the server quiesced (no locks,
+	// rounds, queues, or transactions left behind).
+	TxnLimit int
+}
+
+// DefaultConfig returns the Table 1 settings with the given protocol and
+// workload. Reconstructed values (see DESIGN.md §3): LockInst 300,
+// RegisterCopyInst 300, DiskOverheadInst 5000, ObjInst 10000.
+func DefaultConfig(proto core.Protocol, w workload.Spec) Config {
+	cfg := Config{
+		Proto:      proto,
+		NumClients: w.NumClients,
+
+		ClientMIPS: 15,
+		ServerMIPS: 30,
+
+		ClientBufPages: w.DBPages / 4,
+		ServerBufPages: w.DBPages / 2,
+
+		NumDisks:    2,
+		MinDiskTime: 0.010,
+		MaxDiskTime: 0.030,
+
+		NetworkMbps: 80,
+
+		PageSize:    4096,
+		ObjsPerPage: w.ObjsPerPage,
+		DBPages:     w.DBPages,
+
+		FixedMsgInst:    20000,
+		PerByteMsgInst:  10000.0 / 4096.0,
+		ControlMsgBytes: 256,
+
+		LockInst:         300,
+		RegisterCopyInst: 300,
+		DiskOverheadInst: 5000,
+		CopyMergeInst:    300,
+
+		ObjInst:   10000,
+		ThinkTime: 0,
+
+		Workload: w,
+
+		Seed:    1,
+		Warmup:  30,
+		Measure: 120,
+		Batches: 8,
+	}
+	return cfg
+}
+
+// ObjSize returns the object size implied by the page size and fan-out.
+func (c *Config) ObjSize() int { return c.PageSize / c.ObjsPerPage }
+
+// ClientCacheCapacity returns the client cache capacity in the protocol's
+// caching unit (pages, or objects for OS).
+func (c *Config) ClientCacheCapacity() int {
+	if c.Proto == core.OS {
+		return c.ClientBufPages * c.ObjsPerPage
+	}
+	return c.ClientBufPages
+}
+
+// msgSize returns the wire size of a message under this config.
+func (c *Config) msgSize(m *core.Msg) int {
+	return m.SizeBytes(c.ControlMsgBytes, c.PageSize, c.ObjSize())
+}
+
+// msgCPUCost returns the CPU instructions to send or receive a message of
+// the given size.
+func (c *Config) msgCPUCost(size int) float64 {
+	return c.FixedMsgInst + c.PerByteMsgInst*float64(size)
+}

@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestPSUniformStall reproduces the isolated throughput collapse seen in
+// fig6 (PS, UNIFORM low locality, wp=0.10, seed 42).
+func TestPSUniformStall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long probe")
+	}
+	w := workload.UniformSpec(workload.LowLocality, 0.10)
+	cfg := DefaultConfig(core.PS, w)
+	cfg.Seed = 42
+	sys := build(cfg)
+	last := int64(-1)
+	for tm := 10.0; tm <= 150; tm += 10 {
+		sys.eng.Run(tm)
+		se := sys.server.eng
+		if se.Stats.Commits == last {
+			t.Logf("STALLED at t=%.0f: commits=%d events=%d", tm, se.Stats.Commits, sys.eng.Pending())
+			t.Logf("state:\n%s", se.DumpState())
+			for _, cl := range sys.client {
+				t.Logf("client %d: txn=%d pendingCB=%d mbox=%d", cl.id, cl.cs.Txn, cl.cs.PendingCallbacks(), cl.mbox.Len())
+			}
+			return
+		}
+		last = se.Stats.Commits
+	}
+	t.Logf("no stall: commits=%d", last)
+}
+
+// TestPSUniformCycleTrap re-runs the stalling configuration with a hook
+// that sweeps the waits-for graph after every server engine event,
+// trapping the exact message whose handling left an undetected cycle.
+func TestPSUniformCycleTrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long probe")
+	}
+	w := workload.UniformSpec(workload.LowLocality, 0.10)
+	cfg := DefaultConfig(core.PS, w)
+	cfg.Seed = 42
+	sys := build(cfg)
+	type logEntry struct {
+		at  float64
+		msg string
+	}
+	var recent []logEntry
+	trapped := false
+	sys.server.eng.DebugCheckLog = func(start core.TxnID, waits []core.TxnID, victim core.TxnID) {
+		recent = append(recent, logEntry{sys.eng.Now(), fmt.Sprintf(
+			"  [check from=%d waits=%v victim=%d]", start, waits, victim)})
+	}
+	sys.server.debugHook = func(m *core.Msg) {
+		if trapped {
+			return
+		}
+		recent = append(recent, logEntry{sys.eng.Now(), fmt.Sprintf(
+			"%v from=%d txn=%d obj=%v page=%d busy=%v busyTxn=%d purged=%v req=%d",
+			m.Kind, m.From, m.Txn, m.Obj, m.Page, m.Busy, m.BusyTxn, m.Purged, m.Req)})
+		if len(recent) > 40 {
+			recent = recent[1:]
+		}
+		if cyc := sys.server.eng.FindAnyCycle(); cyc != nil {
+			trapped = true
+			t.Logf("cycle %v at t=%.6f (last msg: %s)", cyc, sys.eng.Now(), recent[len(recent)-1].msg)
+			for _, e := range recent {
+				t.Logf("  %.6f %s", e.at, e.msg)
+			}
+		}
+	}
+	sys.eng.Run(40)
+	if !trapped {
+		t.Log("no undetected cycle")
+	}
+}

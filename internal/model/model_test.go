@@ -1,0 +1,95 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// shortConfig shrinks the run for tests: small DB, short horizon.
+func shortConfig(proto core.Protocol, w workload.Spec) Config {
+	cfg := DefaultConfig(proto, w)
+	cfg.Warmup = 3
+	cfg.Measure = 12
+	cfg.Batches = 4
+	return cfg
+}
+
+func smallHotCold(writeProb float64) workload.Spec {
+	w := workload.HotColdSpec(workload.LowLocality, writeProb)
+	w.DBPages = 250
+	w.HotPages = 20
+	w.NumClients = 5
+	w.TransPages = 10
+	return w
+}
+
+func TestRunAllProtocolsSmoke(t *testing.T) {
+	for _, proto := range core.AllProtocols {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			res := Run(shortConfig(proto, smallHotCold(0.1)))
+			if res.Commits == 0 {
+				t.Fatal("no transactions committed")
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("throughput = %v", res.Throughput)
+			}
+			if res.Messages == 0 {
+				t.Fatal("no messages recorded")
+			}
+			t.Logf("%s: tput=%.2f ±%.2f commits=%d aborts=%d msgs/commit=%.1f resp=%.3fs",
+				proto, res.Throughput, res.ThroughputCI, res.Commits, res.Aborts,
+				res.MsgsPerCommit, res.RespTime.Mean())
+		})
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := shortConfig(core.PSAA, smallHotCold(0.2))
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Commits != b.Commits || a.Messages != b.Messages || a.Aborts != b.Aborts {
+		t.Fatalf("non-deterministic: commits %d/%d msgs %d/%d aborts %d/%d",
+			a.Commits, b.Commits, a.Messages, b.Messages, a.Aborts, b.Aborts)
+	}
+	if a.Throughput != b.Throughput {
+		t.Fatalf("non-deterministic throughput: %v vs %v", a.Throughput, b.Throughput)
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	cfg := shortConfig(core.PS, smallHotCold(0.1))
+	a := Run(cfg)
+	cfg.Seed = 99
+	b := Run(cfg)
+	if a.Commits == b.Commits && a.Messages == b.Messages {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestReadOnlyWorkloadHasNoCallbacks(t *testing.T) {
+	w := smallHotCold(0)
+	for _, proto := range core.Protocols {
+		res := Run(shortConfig(proto, w))
+		if res.Callbacks != 0 || res.Deadlocks != 0 || res.Aborts != 0 {
+			t.Fatalf("%v: callbacks=%d deadlocks=%d aborts=%d on read-only workload",
+				proto, res.Callbacks, res.Deadlocks, res.Aborts)
+		}
+	}
+}
+
+func TestPSAAOutperformsPSOnFalseSharing(t *testing.T) {
+	// Under heavy false sharing (low locality, updates spread across many
+	// pages), PS should suffer page-level contention PS-AA avoids. This is
+	// the paper's central claim; the smoke version just checks both run.
+	w := smallHotCold(0.3)
+	ps := Run(shortConfig(core.PS, w))
+	aa := Run(shortConfig(core.PSAA, w))
+	t.Logf("PS tput=%.2f (aborts %d), PS-AA tput=%.2f (aborts %d)",
+		ps.Throughput, ps.Aborts, aa.Throughput, aa.Aborts)
+	if ps.Commits == 0 || aa.Commits == 0 {
+		t.Fatal("runs did not progress")
+	}
+}

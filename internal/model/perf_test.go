@@ -1,0 +1,26 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestDefaultSizeTiming measures wall-clock cost of a paper-sized run so
+// the experiment harness durations can be chosen sensibly. Skipped in
+// -short mode.
+func TestDefaultSizeTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing probe")
+	}
+	w := workload.HotColdSpec(workload.LowLocality, 0.1)
+	cfg := DefaultConfig(core.PSAA, w)
+	cfg.Warmup = 10
+	cfg.Measure = 30
+	start := time.Now()
+	res := Run(cfg)
+	t.Logf("40s virtual took %v wall; tput=%.2f ±%.2f commits=%d msgs=%d",
+		time.Since(start), res.Throughput, res.ThroughputCI, res.Commits, res.Messages)
+}

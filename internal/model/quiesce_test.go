@@ -1,0 +1,92 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestDrainLeavesServerQuiesced runs a bounded number of transactions per
+// client under every protocol, lets the system drain completely, and
+// checks that the server engine retains no locks, rounds, queues, or
+// transaction records — i.e. no protocol state leaks.
+func TestDrainLeavesServerQuiesced(t *testing.T) {
+	for _, proto := range core.AllProtocols {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			w := workload.UniformSpec(workload.LowLocality, 0.25)
+			w.DBPages = 200
+			w.NumClients = 6
+			w.TransPages = 8
+			cfg := DefaultConfig(proto, w)
+			cfg.TxnLimit = 40
+			cfg.Verify = true
+			cfg.Warmup, cfg.Measure, cfg.Batches = 1, 1000, 2
+
+			sys := build(cfg)
+			sys.startMeasurement()
+			// Run until the event queue drains (all clients done).
+			end := sys.eng.Run(cfg.Warmup + cfg.Measure)
+			if sys.eng.Procs() != 0 {
+				t.Fatalf("%d client processes still alive at t=%.2f (stall)", sys.eng.Procs(), end)
+			}
+			se := sys.server.eng
+			if !se.Quiesced() {
+				t.Fatalf("server not quiesced:\n%s", se.DumpState())
+			}
+			if got := int(se.Stats.Commits); got > 6*40 {
+				t.Fatalf("server saw %d commits, more than the %d issued", got, 6*40)
+			}
+			// Every client's cache must be consistent with the copy table:
+			// cached (page-granularity) implies registered, minus pending
+			// drop notices (none remain after a commit drained them... they
+			// may remain if the final message preceded the last eviction).
+			for _, cl := range sys.client {
+				drops := map[core.PageID]bool{}
+				dp, _ := cl.cs.Cache.TakeDropped()
+				for _, p := range dp {
+					drops[p] = true
+				}
+				if proto == core.OS || proto == core.PSOO || proto == core.PSWT {
+					continue // object-granularity registration
+				}
+				for _, p := range cl.cs.Cache.ResidentPages() {
+					if !se.Copies.HasPageCopy(cl.id, p) {
+						t.Fatalf("client %d caches page %d but it is not registered", cl.id, p)
+					}
+				}
+				_ = drops
+			}
+		})
+	}
+}
+
+// TestDrainHighContention drains a HICON run (heaviest abort traffic) and
+// checks quiescence plus commit accounting.
+func TestDrainHighContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("longer drain")
+	}
+	w := workload.HiConSpec(workload.HighLocality, 0.5)
+	w.DBPages = 120
+	w.HotPages = 10
+	w.NumClients = 8
+	w.TransPages = 5
+	for _, proto := range []core.Protocol{core.PS, core.PSAA} {
+		cfg := DefaultConfig(proto, w)
+		cfg.TxnLimit = 30
+		cfg.Verify = true
+		cfg.Warmup, cfg.Measure, cfg.Batches = 1, 2000, 2
+		sys := build(cfg)
+		sys.startMeasurement()
+		sys.eng.Run(cfg.Warmup + cfg.Measure)
+		if sys.eng.Procs() != 0 {
+			t.Fatalf("%v: stalled with %d live procs:\n%s", proto, sys.eng.Procs(),
+				sys.server.eng.DumpState())
+		}
+		if !sys.server.eng.Quiesced() {
+			t.Fatalf("%v: not quiesced:\n%s", proto, sys.server.eng.DumpState())
+		}
+	}
+}

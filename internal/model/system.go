@@ -1,0 +1,280 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// system is one assembled simulation: engine, network, server, clients.
+type system struct {
+	cfg    Config
+	eng    *sim.Engine
+	net    *sim.Network
+	server *server
+	client []*client
+
+	layout  *core.Layout
+	nextTxn core.TxnID
+	oracle  *oracle // non-nil in Verify mode
+
+	measuring  bool
+	batchLen   float64
+	curBatch   int
+	batchCount int64 // commits in the current batch
+
+	res *Results
+}
+
+// Results reports one simulation run.
+type Results struct {
+	Proto    core.Protocol
+	Workload string
+
+	Throughput   float64 // committed txns per second
+	ThroughputCI float64 // 90% half-width (batch means)
+	RespTime     stats.Welford
+
+	Commits       int64
+	Aborts        int64 // transaction restarts (deadlock victims)
+	Messages      int64
+	MsgBytes      int64
+	MsgsPerCommit float64
+
+	MsgByKind map[core.MsgKind]int64
+
+	Deadlocks     int64
+	Callbacks     int64
+	BusyReplies   int64
+	Deescalations int64
+	PageGrants    int64
+	ObjGrants     int64
+	Blocks        int64
+
+	ServerCPUUtil float64
+	ClientCPUUtil float64 // mean over clients
+	DiskUtil      float64 // mean over disks
+	NetUtil       float64
+
+	ServerBufHits, ServerBufMisses, ServerWritebacks int64
+	ClientEvictions                                  int64
+
+	batches stats.BatchMeans
+}
+
+// Run executes one simulation and returns its results.
+func Run(cfg Config) *Results {
+	if cfg.NumClients != cfg.Workload.NumClients {
+		panic("model: NumClients mismatch between config and workload")
+	}
+	if cfg.Batches < 2 {
+		panic("model: need at least 2 batches")
+	}
+	sys := build(cfg)
+	sys.eng.Run(cfg.Warmup)
+	sys.startMeasurement()
+	sys.eng.Run(cfg.Warmup + cfg.Measure)
+	sys.finish()
+	return sys.res
+}
+
+func build(cfg Config) *system {
+	eng := sim.NewEngine()
+	sys := &system{
+		cfg:    cfg,
+		eng:    eng,
+		net:    sim.NewNetwork(eng, cfg.NetworkMbps),
+		layout: cfg.Workload.Layout(),
+		res: &Results{
+			Proto:     cfg.Proto,
+			Workload:  cfg.Workload.Kind.String(),
+			MsgByKind: make(map[core.MsgKind]int64),
+		},
+	}
+	if cfg.Verify {
+		sys.oracle = newOracle(sys)
+	}
+	serverRng := rand.New(rand.NewSource(cfg.Seed))
+	scpu := sim.NewCPU(eng, cfg.ServerMIPS)
+	disks := make([]*sim.Disk, cfg.NumDisks)
+	for i := range disks {
+		disks[i] = sim.NewDisk(eng, rand.New(rand.NewSource(cfg.Seed+int64(1000+i))), cfg.MinDiskTime, cfg.MaxDiskTime)
+	}
+	sys.server = &server{
+		sys:   sys,
+		eng:   core.NewServerEngine(cfg.Proto, sys.layout),
+		cpu:   scpu,
+		disks: disks,
+		buf:   newServerBuf(eng, scpu, disks, serverRng, cfg.ServerBufPages, cfg.DiskOverheadInst),
+	}
+	sys.client = make([]*client, cfg.NumClients)
+	for i := 0; i < cfg.NumClients; i++ {
+		id := core.ClientID(i + 1)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(77+i)*104729))
+		cl := &client{
+			sys: sys,
+			id:  id,
+			cs:  core.NewClientState(id, cfg.Proto, cfg.ClientCacheCapacity()),
+			cpu: sim.NewCPU(eng, cfg.ClientMIPS),
+			gen: workload.NewGenerator(cfg.Workload, sys.layout, i+1, rng),
+			rng: rng,
+		}
+		sys.client[i] = cl
+		eng.Go(fmt.Sprintf("client-%d", id), cl.run)
+	}
+	return sys
+}
+
+func (sys *system) startMeasurement() {
+	sys.measuring = true
+	sys.batchLen = sys.cfg.Measure / float64(sys.cfg.Batches)
+}
+
+func (sys *system) flushBatch() {
+	sys.res.batches.Add(float64(sys.batchCount) / sys.batchLen)
+	sys.batchCount = 0
+	sys.curBatch++
+}
+
+// recordCommit tallies a committed transaction.
+func (sys *system) recordCommit(respTime float64) {
+	if !sys.measuring {
+		return
+	}
+	idx := int((sys.eng.Now() - sys.cfg.Warmup) / sys.batchLen)
+	if idx > sys.cfg.Batches-1 {
+		idx = sys.cfg.Batches - 1
+	}
+	for sys.curBatch < idx {
+		sys.flushBatch()
+	}
+	sys.batchCount++
+	sys.res.Commits++
+	sys.res.RespTime.Add(respTime)
+}
+
+func (sys *system) recordAbort() {
+	if sys.measuring {
+		sys.res.Aborts++
+	}
+}
+
+func (sys *system) recordMsg(m *core.Msg, size int) {
+	if !sys.measuring {
+		return
+	}
+	sys.res.Messages++
+	sys.res.MsgBytes += int64(size)
+	sys.res.MsgByKind[m.Kind]++
+}
+
+func (sys *system) finish() {
+	r := sys.res
+	// Close out every remaining batch (empty ones included).
+	for sys.curBatch < sys.cfg.Batches-1 {
+		sys.flushBatch()
+	}
+	sys.flushBatch()
+	r.Throughput, r.ThroughputCI = r.batches.CI90()
+	if r.Commits > 0 {
+		r.MsgsPerCommit = float64(r.Messages) / float64(r.Commits)
+	}
+
+	st := sys.server.eng.Stats
+	r.Deadlocks = st.Deadlocks
+	r.Callbacks = st.Callbacks
+	r.BusyReplies = st.BusyReplies
+	r.Deescalations = st.Deescalations
+	r.PageGrants = st.PageGrants
+	r.ObjGrants = st.ObjGrants
+	r.Blocks = st.Blocks
+
+	elapsed := sys.eng.Now()
+	r.ServerCPUUtil = sys.server.cpu.Utilization(elapsed)
+	for _, c := range sys.client {
+		r.ClientCPUUtil += c.cpu.Utilization(elapsed)
+		r.ClientEvictions += c.cs.Cache.Evictions
+	}
+	r.ClientCPUUtil /= float64(len(sys.client))
+	for _, d := range sys.server.disks {
+		r.DiskUtil += d.Utilization(elapsed)
+	}
+	r.DiskUtil /= float64(len(sys.server.disks))
+	r.NetUtil = sys.net.Utilization(elapsed)
+	r.ServerBufHits = sys.server.buf.Hits
+	r.ServerBufMisses = sys.server.buf.Misses
+	r.ServerWritebacks = sys.server.buf.Writebacks
+}
+
+// newTxnID hands out globally monotonic transaction ids (the deadlock
+// victim policy aborts the youngest, i.e. highest id, in a cycle).
+func (sys *system) newTxnID() core.TxnID {
+	sys.nextTxn++
+	return sys.nextTxn
+}
+
+// toServer ships a client->server message: send CPU at the client, wire
+// time, receive CPU at the server, then protocol handling.
+func (sys *system) toServer(from *client, m core.Msg) {
+	m.From = from.id
+	m.DroppedPages, m.DroppedObjs = from.cs.Cache.TakeDropped()
+	size := sys.cfg.msgSize(&m)
+	sys.recordMsg(&m, size)
+	cost := sys.cfg.msgCPUCost(size)
+	from.cpu.UseSystem(cost, func() {
+		sys.net.Transmit(size, func() {
+			sys.server.cpu.UseSystem(cost, func() {
+				sys.server.handle(m)
+			})
+		})
+	})
+}
+
+// toClient enqueues a server->client message on the destination's ordered
+// delivery queue (emission order per client is preserved end to end, as on
+// a real session connection).
+func (sys *system) toClient(m core.Msg) {
+	if m.To == core.NoClient {
+		panic("model: server message without destination")
+	}
+	dst := sys.client[m.To-1]
+	dst.outQ = append(dst.outQ, m)
+	if !dst.outBusy {
+		dst.outBusy = true
+		sys.pumpClient(dst)
+	}
+}
+
+// pumpClient ships the next queued message to a client: buffer fetch for
+// data replies, send CPU, wire, receive CPU, delivery, then the next.
+func (sys *system) pumpClient(dst *client) {
+	if len(dst.outQ) == 0 {
+		dst.outBusy = false
+		return
+	}
+	m := dst.outQ[0]
+	dst.outQ = dst.outQ[1:]
+	ship := func() {
+		size := sys.cfg.msgSize(&m)
+		sys.recordMsg(&m, size)
+		cost := sys.cfg.msgCPUCost(size)
+		sys.server.cpu.UseSystem(cost, func() {
+			sys.net.Transmit(size, func() {
+				dst.cpu.UseSystem(cost, func() {
+					dst.deliver(m)
+					sys.pumpClient(dst)
+				})
+			})
+		})
+	}
+	switch m.Kind {
+	case core.MPageData, core.MObjData:
+		sys.server.buf.ensure(m.Page, ship)
+	default:
+		ship()
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// oracle implements the simulator's verification mode (Config.Verify): it
+// shadows every object with the transaction id of its last committed
+// writer and checks the central callback-locking invariant — an object
+// that is locally readable in a client cache is always the current
+// committed version (unless the reader itself has an uncommitted update).
+//
+// Versions advance when a client sends its commit message: from that
+// instant the commit is irrevocable, and no other client can read the
+// updated objects until the server has processed the commit and released
+// the locks, so the bump cannot race a legal read.
+type oracle struct {
+	sys      *system
+	versions map[core.ObjID]core.TxnID
+	// view[c][o] is the version client c's cache holds for o.
+	view map[core.ClientID]map[core.ObjID]core.TxnID
+	// snaps holds per-reply version snapshots taken when the server engine
+	// emitted a data reply, keyed by (client, request id).
+	snaps map[snapKey]map[core.ObjID]core.TxnID
+
+	Checks int64
+
+	// TraceFn, when set by diagnostics, supplies context lines included in
+	// a stale-read panic.
+	TraceFn func() []string
+}
+
+type snapKey struct {
+	to  core.ClientID
+	req int64
+}
+
+func newOracle(sys *system) *oracle {
+	return &oracle{
+		sys:      sys,
+		versions: make(map[core.ObjID]core.TxnID),
+		view:     make(map[core.ClientID]map[core.ObjID]core.TxnID),
+		snaps:    make(map[snapKey]map[core.ObjID]core.TxnID),
+	}
+}
+
+func (o *oracle) clientView(c core.ClientID) map[core.ObjID]core.TxnID {
+	v := o.view[c]
+	if v == nil {
+		v = make(map[core.ObjID]core.TxnID)
+		o.view[c] = v
+	}
+	return v
+}
+
+// snapshotReply records the versions a data reply carries, at emission
+// time (before buffering/transport delays).
+func (o *oracle) snapshotReply(m *core.Msg) {
+	switch m.Kind {
+	case core.MPageData:
+		snap := make(map[core.ObjID]core.TxnID)
+		unavail := make(map[uint16]bool, len(m.Unavail))
+		for _, s := range m.Unavail {
+			unavail[s] = true
+		}
+		for s := 0; s < o.sys.layout.ObjsPerPage; s++ {
+			if !unavail[uint16(s)] {
+				obj := core.ObjID{Page: m.Page, Slot: uint16(s)}
+				snap[obj] = o.versions[obj]
+			}
+		}
+		o.snaps[snapKey{m.To, m.Req}] = snap
+	case core.MObjData:
+		o.snaps[snapKey{m.To, m.Req}] = map[core.ObjID]core.TxnID{m.Obj: o.versions[m.Obj]}
+	}
+}
+
+// applyReply merges a consumed reply's snapshot into the client's view.
+// Slots the client has dirty locally keep the client's own pending view.
+func (o *oracle) applyReply(cl *client, m *core.Msg) {
+	snap := o.snaps[snapKey{cl.id, m.Req}]
+	if snap == nil {
+		return
+	}
+	delete(o.snaps, snapKey{cl.id, m.Req})
+	view := o.clientView(cl.id)
+	for obj, v := range snap {
+		view[obj] = v
+	}
+}
+
+// checkRead validates a read reference that was (or just became) locally
+// satisfiable.
+func (o *oracle) checkRead(cl *client, obj core.ObjID, ownWrite bool) {
+	o.Checks++
+	if ownWrite {
+		return
+	}
+	cur := o.versions[obj]
+	got := o.clientView(cl.id)[obj]
+	if got != cur {
+		msg := fmt.Sprintf(
+			"model: STALE READ at client %d txn %d: object %v cached version %d, committed version %d (t=%.6f, proto %v)",
+			cl.id, cl.cs.Txn, obj, got, cur, o.sys.eng.Now(), o.sys.cfg.Proto)
+		if o.TraceFn != nil {
+			for _, line := range o.TraceFn() {
+				msg += "\n  " + line
+			}
+		}
+		panic(msg)
+	}
+}
+
+// commit advances versions for a committing transaction's write set and
+// refreshes the committer's own view.
+func (o *oracle) commit(cl *client, writeSet []core.ObjID, txn core.TxnID) {
+	view := o.clientView(cl.id)
+	for _, obj := range writeSet {
+		o.versions[obj] = txn
+		view[obj] = txn
+	}
+}

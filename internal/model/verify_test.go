@@ -1,0 +1,69 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestCoherenceOracleAllProtocols runs every protocol under a contentious
+// workload with the coherence oracle armed: any locally-satisfied read of
+// a stale object panics. This is the deepest correctness check of the
+// cache-consistency machinery.
+func TestCoherenceOracleAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	mk := func(name string, w workload.Spec) func(t *testing.T) {
+		return func(t *testing.T) {
+			for _, proto := range core.AllProtocols {
+				proto := proto
+				t.Run(proto.String(), func(t *testing.T) {
+					cfg := DefaultConfig(proto, w)
+					cfg.Warmup, cfg.Measure, cfg.Batches = 2, 10, 4
+					cfg.Verify = true
+					res := Run(cfg)
+					if res.Commits == 0 {
+						t.Fatal("no commits")
+					}
+				})
+			}
+		}
+	}
+	small := func(w workload.Spec) workload.Spec {
+		w.DBPages = 200
+		w.NumClients = 6
+		w.TransPages = 8
+		if w.Kind == workload.HotCold || w.Kind == workload.HiCon {
+			w.HotPages = 16
+		}
+		return w
+	}
+	t.Run("uniform-contended", mk("u", small(workload.UniformSpec(workload.LowLocality, 0.3))))
+	t.Run("hicon-extreme", mk("h", small(workload.HiConSpec(workload.HighLocality, 0.5))))
+	t.Run("hotcold", mk("hc", func() workload.Spec {
+		w := small(workload.HotColdSpec(workload.LowLocality, 0.2))
+		return w
+	}()))
+}
+
+// TestCoherenceOracleLongUniform is a longer soak on the adaptive
+// protocols, where the lock-granularity transitions are trickiest.
+func TestCoherenceOracleLongUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	w := workload.UniformSpec(workload.HighLocality, 0.4)
+	w.DBPages = 150
+	w.NumClients = 8
+	w.TransPages = 6
+	for _, proto := range []core.Protocol{core.PSOA, core.PSAA} {
+		cfg := DefaultConfig(proto, w)
+		cfg.Warmup, cfg.Measure, cfg.Batches = 2, 40, 4
+		cfg.Verify = true
+		cfg.Seed = 1234
+		res := Run(cfg)
+		t.Logf("%v: commits=%d aborts=%d deesc=%d", proto, res.Commits, res.Aborts, res.Deescalations)
+	}
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestCoherenceTrap reproduces a stale read under verification and prints
+// the recent protocol events for the affected page.
+func TestCoherenceTrap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	w := workload.HiConSpec(workload.HighLocality, 0.5)
+	w.DBPages = 120
+	w.HotPages = 10
+	w.NumClients = 8
+	w.TransPages = 5
+	cfg := DefaultConfig(core.PSAA, w)
+	cfg.TxnLimit = 30
+	cfg.Warmup, cfg.Measure, cfg.Batches = 1, 2000, 2
+	cfg.Verify = true
+
+	sys := build(cfg)
+	var trace []string
+	sys.oracle.TraceFn = func() []string { return trace }
+	cl6 := sys.client[3]
+	cl6.debugDeliver = func(m *core.Msg) {
+		trace = append(trace, fmt.Sprintf(
+			"t=%.6f DELIVER->4 %v obj=%v page=%d grant=%v req=%d cb=%v unavail=%v | touched4=%v txn=%d",
+			sys.eng.Now(), m.Kind, m.Obj, m.Page, m.Grant, m.Req, m.CB, m.Unavail,
+			cl6.cs.Active() && cl6.cs.Cache.HasPage(4), cl6.cs.Txn))
+	}
+	lastReg, lastCached := false, false
+	sys.server.debugHook = func(m *core.Msg) {
+		reg := sys.server.eng.Copies.HasPageCopy(4, 4)
+		cached := cl6.cs.Cache.HasPage(4)
+		interesting := m.Page == 4 || m.Obj.Page == 4 || m.From == 4 ||
+			reg != lastReg || cached != lastCached
+		for _, dp := range m.DroppedPages {
+			if dp == 4 {
+				interesting = true
+			}
+		}
+		for _, pp := range m.PurgedPages {
+			if pp == 4 {
+				interesting = true
+			}
+		}
+		if interesting {
+			trace = append(trace, fmt.Sprintf(
+				"t=%.6f %v from=%d txn=%d obj=%v page=%d busy=%v/%d purged=%v grant=%v req=%d drop=%v aborted=%v deesc=%v | reg(4,4)=%v cached=%v",
+				sys.eng.Now(), m.Kind, m.From, m.Txn, m.Obj, m.Page, m.Busy, m.BusyTxn,
+				m.Purged, m.Grant, m.Req, m.DroppedPages, m.PurgedPages, m.DeescObjs, reg, cached))
+			if len(trace) > 2000 {
+				trace = trace[1:]
+			}
+		}
+		lastReg, lastCached = reg, cached
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Logf("panic: %v", r)
+			for _, e := range trace {
+				t.Log(e)
+			}
+			t.Logf("server engine page-9 state:\n%s", sys.server.eng.DumpState())
+		}
+	}()
+	sys.eng.Run(cfg.Warmup + cfg.Measure)
+	t.Log("no stale read in this run")
+}

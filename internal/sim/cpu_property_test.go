@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCPUWorkConservation submits random mixes of system and user jobs and
+// checks the processor-sharing CPU is work-conserving: total completion
+// time equals total instructions divided by speed whenever the CPU never
+// idles, and every job completes.
+func TestCPUWorkConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		cpu := NewCPU(e, 1) // 1e6 instr/sec
+		totalInstr := 0.0
+		done := 0
+		end := 0.0
+		jobs := 3 + rng.Intn(12)
+		for j := 0; j < jobs; j++ {
+			instr := float64(1000 + rng.Intn(500000))
+			totalInstr += instr
+			fin := func() { done++; end = e.Now() }
+			if rng.Intn(2) == 0 {
+				cpu.UseSystem(instr, fin)
+			} else {
+				cpu.UseUser(instr, fin)
+			}
+		}
+		e.Run(1e9)
+		if done != jobs {
+			t.Fatalf("trial %d: %d/%d jobs completed", trial, done, jobs)
+		}
+		want := totalInstr / 1e6
+		if math.Abs(end-want) > 1e-6*want+1e-9 {
+			t.Fatalf("trial %d: makespan %v, want %v (work conservation)", trial, end, want)
+		}
+	}
+}
+
+// TestCPUWorkConservationWithArrivals staggers arrivals; the CPU may idle
+// between bursts, so the check becomes: busy time equals total work.
+func TestCPUWorkConservationWithArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 30; trial++ {
+		e := NewEngine()
+		cpu := NewCPU(e, 2)
+		totalInstr := 0.0
+		done := 0
+		jobs := 3 + rng.Intn(10)
+		for j := 0; j < jobs; j++ {
+			instr := float64(1000 + rng.Intn(300000))
+			totalInstr += instr
+			at := rng.Float64() * 0.2
+			sys := rng.Intn(2) == 0
+			e.At(at, func() {
+				if sys {
+					cpu.UseSystem(instr, func() { done++ })
+				} else {
+					cpu.UseUser(instr, func() { done++ })
+				}
+			})
+		}
+		e.Run(1e9)
+		if done != jobs {
+			t.Fatalf("trial %d: %d/%d jobs completed", trial, done, jobs)
+		}
+		busy := cpu.SysBusy + cpu.UserBusy
+		want := totalInstr / 2e6
+		if math.Abs(busy-want) > 1e-6*want+1e-9 {
+			t.Fatalf("trial %d: busy %v, want %v", trial, busy, want)
+		}
+	}
+}
+
+// TestUserJobsFinishInWorkOrder checks that among user jobs started
+// together, completion order follows remaining work (processor sharing is
+// fair).
+func TestUserJobsFinishInWorkOrder(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var order []int
+	sizes := []float64{5e5, 1e5, 3e5, 2e5, 4e5}
+	for i, instr := range sizes {
+		i := i
+		cpu.UseUser(instr, func() { order = append(order, i) })
+	}
+	e.Run(1e9)
+	want := []int{1, 3, 2, 4, 0} // ascending by size
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", order, want)
+		}
+	}
+}

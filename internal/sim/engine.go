@@ -1,0 +1,150 @@
+// Package sim is a small process-oriented discrete-event simulation
+// engine. It plays the role that the DeNet simulation language played for
+// the original paper: it provides a virtual clock, schedulable events,
+// coroutine-style processes, and simulated resources (CPUs with two-level
+// priority scheduling, FIFO disks, and a FIFO network).
+//
+// The engine is strictly deterministic: exactly one goroutine runs at a
+// time (either the scheduler or the currently-resumed process), events at
+// equal timestamps fire in scheduling order, and all randomness must be
+// drawn from rand.Rand streams owned by the caller.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// event is a scheduled closure.
+type event struct {
+	at   float64
+	seq  int64
+	fn   func()
+	dead bool // cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. It is not safe for
+// concurrent use; all interaction must happen from process goroutines it
+// manages or from event callbacks it invokes.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+
+	yield   chan struct{} // process -> scheduler handoff
+	running bool
+	procs   int // live process count (diagnostics)
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run after delay d (seconds). It returns a handle that
+// can cancel the event before it fires.
+func (e *Engine) At(d float64, fn func()) *Timer {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("sim: negative or NaN delay %v", d))
+	}
+	e.seq++
+	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct{ ev *event }
+
+// Stop cancels the event if it has not fired yet. It reports whether the
+// event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead {
+		return false
+	}
+	t.ev.dead = true
+	t.ev.fn = nil
+	return true
+}
+
+// Run executes events until the virtual clock would pass `until`, or until
+// no events remain. It returns the time at which it stopped.
+func (e *Engine) Run(until float64) float64 {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// Step executes the single next pending event, returning false if none
+// remain. Intended for tests.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Procs reports the number of live processes (spawned and not finished).
+func (e *Engine) Procs() int { return e.procs }

@@ -1,0 +1,408 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(1, func() { order = append(order, 10) }) // same time: scheduling order
+	e.At(0.5, func() { order = append(order, 0) })
+	e.Run(10)
+	want := []int{0, 1, 10, 2}
+	if len(order) != len(want) {
+		t.Fatalf("got %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("got %v want %v", order, want)
+		}
+	}
+	if !almostEq(e.Now(), 10) {
+		t.Fatalf("clock should land on until: %v", e.Now())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(1, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop should report pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report not pending")
+	}
+	e.Run(5)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5, func() { fired = true })
+	e.Run(3)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if !almostEq(e.Now(), 3) {
+		t.Fatalf("now = %v, want 3", e.Now())
+	}
+	e.Run(10)
+	if !fired {
+		t.Fatal("event not fired on second Run")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.At(1, func() { times = append(times, e.Now()) })
+	})
+	e.Run(10)
+	if len(times) != 2 || !almostEq(times[0], 1) || !almostEq(times[1], 2) {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestProcHold(t *testing.T) {
+	e := NewEngine()
+	var marks []float64
+	e.Go("p", func(p *Proc) {
+		p.Hold(1)
+		marks = append(marks, p.Now())
+		p.Hold(2.5)
+		marks = append(marks, p.Now())
+	})
+	e.Run(10)
+	if len(marks) != 2 || !almostEq(marks[0], 1) || !almostEq(marks[1], 3.5) {
+		t.Fatalf("marks = %v", marks)
+	}
+	if e.Procs() != 0 {
+		t.Fatalf("live procs = %d", e.Procs())
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var got float64
+	var p1 *Proc
+	p1 = e.Go("sleeper", func(p *Proc) {
+		p.Park()
+		got = p.Now()
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Hold(4)
+		p1.Unpark()
+	})
+	e.Run(10)
+	if !almostEq(got, 4) {
+		t.Fatalf("woke at %v, want 4", got)
+	}
+}
+
+func TestCondFIFO(t *testing.T) {
+	e := NewEngine()
+	var c Cond
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Hold(1)
+		c.Signal()
+		p.Hold(1)
+		c.Broadcast()
+	})
+	e.Run(10)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	e := NewEngine()
+	var mb Mailbox[int]
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		mb.Send(1)
+		p.Hold(1)
+		mb.Send(2)
+		mb.Send(3)
+	})
+	e.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+	if v, ok := mb.TryRecv(); ok {
+		t.Fatalf("TryRecv on empty returned %v", v)
+	}
+}
+
+func TestCPUSystemFIFO(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1) // 1 MIPS => 1e6 instr/sec
+	var done []float64
+	cpu.UseSystem(1e6, func() { done = append(done, e.Now()) })  // 1s
+	cpu.UseSystem(5e5, func() { done = append(done, e.Now()) })  // +0.5s
+	cpu.UseSystem(25e4, func() { done = append(done, e.Now()) }) // +0.25s
+	e.Run(10)
+	want := []float64{1, 1.5, 1.75}
+	for i, w := range want {
+		if !almostEq(done[i], w) {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestCPUUserProcessorSharing(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var t1, t2 float64
+	// Two equal user jobs started together: each takes twice as long.
+	cpu.UseUser(1e6, func() { t1 = e.Now() })
+	cpu.UseUser(1e6, func() { t2 = e.Now() })
+	e.Run(10)
+	if !almostEq(t1, 2) || !almostEq(t2, 2) {
+		t.Fatalf("t1=%v t2=%v, want 2,2", t1, t2)
+	}
+}
+
+func TestCPUUserUnequalSharing(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var tShort, tLong float64
+	cpu.UseUser(1e6, func() { tShort = e.Now() }) // 1M instr
+	cpu.UseUser(3e6, func() { tLong = e.Now() })  // 3M instr
+	// Shared until the short one finishes at t=2 (each got 1M). The long
+	// one then has 2M left alone: finishes at t=4.
+	e.Run(10)
+	if !almostEq(tShort, 2) || !almostEq(tLong, 4) {
+		t.Fatalf("tShort=%v tLong=%v, want 2,4", tShort, tLong)
+	}
+}
+
+func TestCPUSystemPreemptsUser(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var tUser, tSys float64
+	cpu.UseUser(1e6, func() { tUser = e.Now() })
+	// At t=0.5, a system request of 1s arrives; user job freezes.
+	e.At(0.5, func() { cpu.UseSystem(1e6, func() { tSys = e.Now() }) })
+	e.Run(10)
+	if !almostEq(tSys, 1.5) {
+		t.Fatalf("tSys = %v, want 1.5", tSys)
+	}
+	// User had 0.5s progress, freezes 1s, finishes remaining 0.5 at 2.0.
+	if !almostEq(tUser, 2.0) {
+		t.Fatalf("tUser = %v, want 2.0", tUser)
+	}
+}
+
+func TestCPULateUserArrival(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var tA, tB float64
+	cpu.UseUser(2e6, func() { tA = e.Now() })
+	e.At(1, func() { cpu.UseUser(1e6, func() { tB = e.Now() }) })
+	// A runs alone [0,1): 1M done, 1M left. Then shared: each gets 0.5M/s.
+	// B (1M) finishes at t=3; A's remaining 1M also finishes at t=3.
+	e.Run(10)
+	if !almostEq(tA, 3) || !almostEq(tB, 3) {
+		t.Fatalf("tA=%v tB=%v, want 3,3", tA, tB)
+	}
+}
+
+func TestCPUZeroInstr(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 10)
+	fired := 0
+	cpu.UseSystem(0, func() { fired++ })
+	cpu.UseUser(0, func() { fired++ })
+	e.Run(1)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestCPUProcVariants(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var tDone float64
+	e.Go("worker", func(p *Proc) {
+		cpu.UseSystemP(p, 5e5)
+		cpu.UseUserP(p, 5e5)
+		tDone = p.Now()
+	})
+	e.Run(10)
+	if !almostEq(tDone, 1) {
+		t.Fatalf("tDone = %v, want 1", tDone)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	cpu.UseSystem(1e6, nil)
+	e.Run(4)
+	u := cpu.Utilization(4)
+	if !almostEq(u, 0.25) {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestDiskFIFOAndRange(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(7))
+	d := NewDisk(e, rng, 0.010, 0.030)
+	var done []float64
+	for i := 0; i < 50; i++ {
+		d.IO(func() { done = append(done, e.Now()) })
+	}
+	e.Run(100)
+	if len(done) != 50 {
+		t.Fatalf("completed %d IOs", len(done))
+	}
+	if d.IOs != 50 {
+		t.Fatalf("IOs stat = %d", d.IOs)
+	}
+	prev := 0.0
+	for i, tm := range done {
+		svc := tm - prev
+		if svc < 0.010-1e-12 || svc > 0.030+1e-12 {
+			t.Fatalf("IO %d service time %v out of range", i, svc)
+		}
+		prev = tm
+	}
+}
+
+func TestDiskProcVariant(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	d := NewDisk(e, rng, 0.02, 0.02)
+	var tDone float64
+	e.Go("io", func(p *Proc) {
+		d.IOP(p)
+		d.IOP(p)
+		tDone = p.Now()
+	})
+	e.Run(10)
+	if !almostEq(tDone, 0.04) {
+		t.Fatalf("tDone = %v, want 0.04", tDone)
+	}
+}
+
+func TestNetworkFIFO(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e, 80) // 80 Mbps = 1e7 B/s
+	var done []float64
+	n.Transmit(1e7, func() { done = append(done, e.Now()) }) // 1s
+	n.Transmit(5e6, func() { done = append(done, e.Now()) }) // +0.5s
+	e.Run(10)
+	if len(done) != 2 || !almostEq(done[0], 1) || !almostEq(done[1], 1.5) {
+		t.Fatalf("done = %v", done)
+	}
+	if n.Msgs != 2 || n.Bytes != 15e6 {
+		t.Fatalf("stats: msgs=%d bytes=%d", n.Msgs, n.Bytes)
+	}
+}
+
+func TestNetworkZeroBytes(t *testing.T) {
+	e := NewEngine()
+	n := NewNetwork(e, 80)
+	fired := false
+	n.Transmit(0, func() { fired = true })
+	e.Run(1)
+	if !fired {
+		t.Fatal("zero-byte message never delivered")
+	}
+}
+
+// TestDeterminism runs an identical mixed scenario twice and requires
+// bit-identical completion traces.
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		cpu := NewCPU(e, 2)
+		d := NewDisk(e, rng, 0.01, 0.03)
+		n := NewNetwork(e, 80)
+		var out []float64
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Go("w", func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					cpu.UseUserP(p, float64(1000*(i+1)))
+					d.IOP(p)
+					done := make(chan struct{}, 1)
+					_ = done
+					nDone := false
+					n.Transmit(512*(i+1), func() { nDone = true })
+					_ = nDone
+					cpu.UseSystemP(p, 2000)
+					out = append(out, p.Now())
+				}
+			})
+		}
+		e.Run(1000)
+		return out
+	}
+	a := trace(42)
+	b := trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockNeverDecreasesUnderRandomLoad(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(99))
+	last := -1.0
+	spawned := 0
+	var spawn func()
+	spawn = func() {
+		if spawned >= 5000 {
+			return
+		}
+		spawned++
+		e.At(rng.Float64(), func() {
+			if e.Now() < last {
+				t.Fatalf("clock decreased: %v -> %v", last, e.Now())
+			}
+			last = e.Now()
+			spawn()
+			if rng.Intn(3) == 0 {
+				spawn()
+			}
+		})
+	}
+	spawn()
+	e.Run(1e9)
+}

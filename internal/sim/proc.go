@@ -1,0 +1,181 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// deterministically with the event loop. At any moment at most one
+// goroutine (the scheduler or exactly one process) is running.
+//
+// A process interacts with virtual time only through its blocking
+// primitives (Hold, Park, Cond.Wait, Mailbox.Recv, and the resource
+// methods that take a Proc).
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+}
+
+// Go spawns a new process executing fn. The process starts at the current
+// virtual time (via a zero-delay event).
+func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.procs++
+	go func() {
+		<-p.resume // wait for first scheduling
+		fn(p)
+		p.done = true
+		e.procs--
+		e.yield <- struct{}{} // return control to scheduler
+	}()
+	e.At(0, func() { p.run() })
+	return p
+}
+
+// run transfers control from the scheduler to the process until it blocks
+// again or finishes.
+func (p *Proc) run() {
+	if p.done {
+		panic("sim: resuming finished proc " + p.name)
+	}
+	p.parked = false
+	p.resume <- struct{}{}
+	<-p.e.yield
+}
+
+// block suspends the calling process and returns control to the event
+// loop. It resumes when some event calls p.run().
+func (p *Proc) block() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the diagnostic name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.e.now }
+
+// Hold advances virtual time by d seconds for this process.
+func (p *Proc) Hold(d float64) {
+	p.e.At(d, func() { p.run() })
+	p.block()
+}
+
+// Park suspends the process until Unpark is called on it.
+func (p *Proc) Park() {
+	if p.parked {
+		panic("sim: double park of " + p.name)
+	}
+	p.parked = true
+	p.block()
+}
+
+// Unpark schedules a parked process to resume at the current virtual time.
+// It must be called from an event callback or another process, never from
+// the parked process itself.
+func (p *Proc) Unpark() {
+	if !p.parked {
+		panic("sim: unpark of non-parked proc " + p.name)
+	}
+	p.parked = false
+	p.e.At(0, func() { p.run() })
+}
+
+// Parked reports whether the process is currently parked.
+func (p *Proc) Parked() bool { return p.parked }
+
+// Cond is a virtual-time condition variable: a FIFO queue of parked
+// processes.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process on the condition.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.parked = true
+	p.block()
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether a
+// process was woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	p.Unpark()
+	return true
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.Unpark()
+	}
+}
+
+// Len returns the number of waiting processes.
+func (c *Cond) Len() int { return len(c.waiters) }
+
+// Mailbox is an unbounded FIFO message queue that a single consumer
+// process can block on. Multiple producers (events or other processes) may
+// send.
+type Mailbox[T any] struct {
+	queue  []T
+	waiter *Proc
+}
+
+// Send enqueues a value and wakes the receiver if it is blocked.
+func (m *Mailbox[T]) Send(v T) {
+	m.queue = append(m.queue, v)
+	if m.waiter != nil {
+		w := m.waiter
+		m.waiter = nil
+		w.Unpark()
+	}
+}
+
+// Recv blocks the calling process until a value is available, then
+// dequeues and returns it.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.queue) == 0 {
+		if m.waiter != nil {
+			panic(fmt.Sprintf("sim: mailbox already has waiter %s", m.waiter.name))
+		}
+		m.waiter = p
+		p.parked = true
+		p.block()
+	}
+	v := m.queue[0]
+	copy(m.queue, m.queue[1:])
+	var zero T
+	m.queue[len(m.queue)-1] = zero
+	m.queue = m.queue[:len(m.queue)-1]
+	return v
+}
+
+// TryRecv dequeues a value without blocking; ok is false if empty.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.queue) == 0 {
+		return v, false
+	}
+	v = m.queue[0]
+	copy(m.queue, m.queue[1:])
+	var zero T
+	m.queue[len(m.queue)-1] = zero
+	m.queue = m.queue[:len(m.queue)-1]
+	return v, true
+}
+
+// Len returns the number of queued values.
+func (m *Mailbox[T]) Len() int { return len(m.queue) }

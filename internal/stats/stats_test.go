@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchMeansBasics(t *testing.T) {
+	var b BatchMeans
+	if !math.IsNaN(b.Mean()) {
+		t.Fatal("empty mean should be NaN")
+	}
+	for _, v := range []float64{10, 12, 8, 10} {
+		b.Add(v)
+	}
+	if b.N() != 4 {
+		t.Fatalf("N = %d", b.N())
+	}
+	mean, hw := b.CI90()
+	if mean != 10 {
+		t.Fatalf("mean = %v", mean)
+	}
+	// s = sqrt((0+4+4+0)/3) = 1.633; hw = t(3)*s/2 = 2.353*0.8165 = 1.921
+	if math.Abs(hw-1.921) > 0.01 {
+		t.Fatalf("half width = %v", hw)
+	}
+}
+
+func TestBatchMeansSingleBatch(t *testing.T) {
+	var b BatchMeans
+	b.Add(5)
+	mean, hw := b.CI90()
+	if mean != 5 || !math.IsNaN(hw) {
+		t.Fatalf("mean=%v hw=%v", mean, hw)
+	}
+}
+
+func TestT90Table(t *testing.T) {
+	if T90(1) != 6.314 || T90(10) != 1.812 || T90(30) != 1.697 {
+		t.Fatal("t-table values wrong")
+	}
+	if T90(100) != 1.645 {
+		t.Fatal("normal approximation not used for large df")
+	}
+	if !math.IsNaN(T90(0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+}
+
+func TestBatchMeansCICoversTrueMean(t *testing.T) {
+	// Frequentist sanity: the 90% CI should contain the true mean in
+	// roughly 90% of repetitions.
+	rng := rand.New(rand.NewSource(1))
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var b BatchMeans
+		for j := 0; j < 10; j++ {
+			b.Add(5 + rng.NormFloat64())
+		}
+		mean, hw := b.CI90()
+		if math.Abs(mean-5) <= hw {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.84 || frac > 0.96 {
+		t.Fatalf("coverage = %.3f, want ~0.90", frac)
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Constrain magnitudes to keep the direct computation stable.
+		var w Welford
+		var clean []float64
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			clean = append(clean, x)
+			w.Add(x)
+		}
+		if len(clean) == 0 {
+			return w.N() == 0
+		}
+		sum := 0.0
+		min, max := clean[0], clean[0]
+		for _, x := range clean {
+			sum += x
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		mean := sum / float64(len(clean))
+		if math.Abs(w.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		if w.Min() != min || w.Max() != max {
+			return false
+		}
+		if len(clean) >= 2 {
+			ss := 0.0
+			for _, x := range clean {
+				ss += (x - mean) * (x - mean)
+			}
+			v := ss / float64(len(clean)-1)
+			if math.Abs(w.Var()-v) > 1e-4*(1+v) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Var()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Fatal("empty Welford should be all NaN")
+	}
+}

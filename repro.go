@@ -1,0 +1,212 @@
+// Package repro is a reproduction of "Fine-Grained Sharing in a Page
+// Server OODBMS" (Carey, Franklin, Zaharioudakis; SIGMOD 1994): a
+// data-shipping client-server object database supporting all five
+// granularity protocols the paper studies — the basic page server (PS),
+// the basic object server (OS), and the three hybrid page servers with
+// object-level sharing (PS-OO, PS-OA, and the adaptive PS-AA the paper
+// recommends), plus the write-token variant of the paper's Section 6.1
+// (PS-WT) — and the discrete-event simulation study that reproduces the
+// paper's evaluation.
+//
+// This root package is the public facade. It re-exports the identifier
+// and protocol types, provides a convenience in-process Cluster around the
+// live system (internal/live), and exposes the simulation entry points
+// (internal/model, internal/workload, internal/experiments).
+//
+// Quick start:
+//
+//	cluster, _ := repro.NewCluster(dir, repro.ClusterOptions{Proto: repro.PSAA, Clients: 2})
+//	defer cluster.Close()
+//	tx, _ := cluster.Client(0).Begin()
+//	tx.Write(repro.Obj(3, 7), []byte("hello"))
+//	tx.Commit()
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Protocol selects a granularity alternative; see the paper's Section 3.
+type Protocol = core.Protocol
+
+// The five protocols, in the paper's presentation order.
+const (
+	PS   = core.PS   // page transfer, page locking, page callbacks
+	OS   = core.OS   // object granularity throughout
+	PSOO = core.PSOO // page transfer, object locking, object callbacks
+	PSOA = core.PSOA // page transfer, object locking, adaptive callbacks
+	PSAA = core.PSAA // page transfer, adaptive locking, adaptive callbacks
+	PSWT = core.PSWT // write-token variant: object locks, one updater per page (Section 6.1)
+)
+
+// ObjID names an object by home page and slot.
+type ObjID = core.ObjID
+
+// PageID names a physical page.
+type PageID = core.PageID
+
+// Obj builds an ObjID.
+func Obj(page PageID, slot uint16) ObjID { return ObjID{Page: page, Slot: slot} }
+
+// ErrAborted is returned when a transaction lost a deadlock and must be
+// retried.
+var ErrAborted = live.ErrAborted
+
+// Server is the live page-server DBMS process.
+type Server = live.Server
+
+// Client is a live client workstation handle.
+type Client = live.Client
+
+// Txn is a live transaction.
+type Txn = live.Txn
+
+// ServerOptions configures a standalone live server.
+type ServerOptions = live.ServerOptions
+
+// OpenServer opens (creating and recovering as needed) a database
+// directory and returns the server.
+func OpenServer(dir string, opts ServerOptions) (*Server, error) {
+	return live.OpenServer(dir, opts)
+}
+
+// Dial connects to a TCP live server and completes the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := live.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return live.Connect(conn, live.ClientOptions{})
+}
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions struct {
+	Proto       Protocol
+	Clients     int // number of attached clients (default 1)
+	PageSize    int // default 4096
+	ObjsPerPage int // default 20
+	NumPages    int // default 1250
+	SyncWAL     bool
+	// VariableObjects enables size-changing updates (slotted pages with
+	// overflow forwarding); requires Proto == OS.
+	VariableObjects bool
+}
+
+// Cluster is an in-process server with a set of attached clients —
+// the workstation/server configuration of the paper without leaving the
+// process. Use it for embedding, examples, and tests.
+type Cluster struct {
+	srv     *live.Server
+	clients []*live.Client
+}
+
+// NewCluster opens a server in dir and attaches the requested clients via
+// in-process transports.
+func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
+	n := opts.Clients
+	if n <= 0 {
+		n = 1
+	}
+	srv, err := live.OpenServer(dir, live.ServerOptions{
+		Proto: opts.Proto, PageSize: opts.PageSize, ObjsPerPage: opts.ObjsPerPage,
+		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL,
+		VariableObjects: opts.VariableObjects,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{srv: srv}
+	for i := 0; i < n; i++ {
+		cEnd, sEnd := live.Pipe()
+		if _, err := srv.Attach(sEnd); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		c, err := live.Connect(cEnd, live.ClientOptions{})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.clients = append(cl.clients, c)
+	}
+	return cl, nil
+}
+
+// Server returns the underlying server (e.g. for Stats or Checkpoint).
+func (c *Cluster) Server() *Server { return c.srv }
+
+// Client returns the i-th attached client (0-based).
+func (c *Cluster) Client(i int) *Client {
+	if i < 0 || i >= len(c.clients) {
+		panic(fmt.Sprintf("repro: client %d out of range [0,%d)", i, len(c.clients)))
+	}
+	return c.clients[i]
+}
+
+// NumClients returns the number of attached clients.
+func (c *Cluster) NumClients() int { return len(c.clients) }
+
+// AttachClient connects one more in-process client.
+func (c *Cluster) AttachClient() (*Client, error) {
+	cEnd, sEnd := live.Pipe()
+	if _, err := c.srv.Attach(sEnd); err != nil {
+		return nil, err
+	}
+	cli, err := live.Connect(cEnd, live.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+// Close shuts down clients then the server.
+func (c *Cluster) Close() error {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	return c.srv.Close()
+}
+
+// ---- Simulation facade ----
+
+// Workload re-exports the simulation workload specification.
+type Workload = workload.Spec
+
+// Locality selects the paper's two transaction shapes.
+type Locality = workload.Locality
+
+// The two locality settings (both average 120 objects per transaction).
+const (
+	LowLocality  = workload.LowLocality  // 30 pages x 1-7 objects
+	HighLocality = workload.HighLocality // 10 pages x 8-16 objects
+)
+
+// The paper's workload presets (Section 4.2 / Table 2).
+var (
+	HotColdWorkload            = workload.HotColdSpec
+	UniformWorkload            = workload.UniformSpec
+	HiConWorkload              = workload.HiConSpec
+	PrivateWorkload            = workload.PrivateSpec
+	InterleavedPrivateWorkload = workload.InterleavedPrivateSpec
+)
+
+// SimConfig is the simulation configuration (Table 1 parameters).
+type SimConfig = model.Config
+
+// SimResults is one simulation run's output.
+type SimResults = model.Results
+
+// DefaultSimConfig returns the paper's Table 1 settings for a protocol and
+// workload.
+func DefaultSimConfig(proto Protocol, w Workload) SimConfig {
+	return model.DefaultConfig(proto, w)
+}
+
+// Simulate runs one simulation to completion.
+func Simulate(cfg SimConfig) *SimResults { return model.Run(cfg) }
