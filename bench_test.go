@@ -20,7 +20,10 @@ import (
 const benchWriteProb = 0.15
 
 func benchOpts() experiments.Opts {
-	return experiments.Opts{Seed: 7, Warmup: 2, Measure: 8, Batches: 4}
+	// Jobs 0 = GOMAXPROCS: protocol cells of the sweep run on the
+	// parallel runner, which produces results identical to the serial
+	// path for any worker count.
+	return experiments.Opts{Seed: 7, Warmup: 2, Measure: 8, Batches: 4, Jobs: 0}
 }
 
 // runFigure executes one catalogue sweep at a single write probability and
@@ -33,7 +36,10 @@ func runFigure(b *testing.B, id string) {
 	}
 	s.WriteProbs = []float64{benchWriteProb}
 	for i := 0; i < b.N; i++ {
-		res := s.Run(benchOpts(), nil)
+		res, errs := s.RunParallel(benchOpts(), nil)
+		if len(errs) > 0 {
+			b.Fatalf("cell failures: %v", errs[0])
+		}
 		for _, p := range res.Protocols {
 			v := res.Rows[0].Res[p].Throughput
 			if s.Normalize {
@@ -90,7 +96,10 @@ func BenchmarkExtraClientScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, s := range sweeps {
 			s.Protocols = []core.Protocol{core.PSAA}
-			res := s.Run(benchOpts(), nil)
+			res, errs := s.RunParallel(benchOpts(), nil)
+			if len(errs) > 0 {
+				b.Fatalf("cell failures: %v", errs[0])
+			}
 			b.ReportMetric(res.Rows[0].Res[core.PSAA].Throughput, "tps-"+s.ID)
 		}
 	}

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	figures [-out figures] [-only fig3,fig9] [-quick] [-seed N] [-clients]
+//	        [-jobs N] [-benchjson BENCH_figures.json]
 //
 // Full mode uses the recorded experiment durations (30s warmup + 120s
 // measured virtual time per run); -quick cuts both for a fast smoke pass.
+//
+// Every (sweep, write-probability, protocol) cell is an independent
+// deterministic simulation, so all cells of all selected sweeps are
+// dispatched together on a worker pool (-jobs, default GOMAXPROCS).
+// Outputs are byte-identical for every worker count, including -jobs 1.
 package main
 
 import (
@@ -16,8 +22,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/benchjson"
 	"repro/internal/experiments"
 )
 
@@ -28,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	clients := flag.Bool("clients", false, "also run the client-scaling experiment")
 	detail := flag.Bool("detail", true, "write per-run detail files")
+	jobs := flag.Int("jobs", 0, "simulation worker count (0 = GOMAXPROCS)")
+	benchPath := flag.String("benchjson", "", "append wall-clock/speedup record to this JSON file")
 	flag.Parse()
 
 	opts := experiments.DefaultOpts()
@@ -35,6 +45,7 @@ func main() {
 		opts = experiments.QuickOpts()
 	}
 	opts.Seed = *seed
+	opts.Jobs = *jobs
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
@@ -57,20 +68,50 @@ func main() {
 		write(*outDir, "fig5.csv", experiments.Fig5CSV(probs))
 	}
 
-	sweeps := experiments.Catalogue()
+	var sweeps []*experiments.Sweep
+	all := experiments.Catalogue()
 	if *clients {
-		sweeps = append(sweeps, experiments.ClientScalingSweep(0.1, []int{1, 5, 10, 15, 20, 25})...)
+		all = append(all, experiments.ClientScalingSweep(0.1, []int{1, 5, 10, 15, 20, 25})...)
 	}
-	start := time.Now()
-	for _, s := range sweeps {
-		if !want(s.ID) {
-			continue
+	for _, s := range all {
+		if want(s.ID) {
+			sweeps = append(sweeps, s)
 		}
-		sStart := time.Now()
-		res := s.Run(opts, func(msg string) {
-			fmt.Fprintf(os.Stderr, "\r%-60s", msg)
-		})
-		fmt.Fprintf(os.Stderr, "\r%-60s\n", fmt.Sprintf("%s done in %v", s.ID, time.Since(sStart).Round(time.Millisecond)))
+	}
+	if len(selected) > 0 {
+		known := map[string]bool{"fig5": true, "tab1": true}
+		valid := make([]string, 0, len(all)+2)
+		valid = append(valid, "fig5", "tab1")
+		for _, s := range all {
+			known[s.ID] = true
+			valid = append(valid, s.ID)
+		}
+		for id := range selected {
+			if !known[id] {
+				fatal(fmt.Errorf("unknown -only id %q; valid ids: %s", id, strings.Join(valid, ", ")))
+			}
+		}
+	}
+
+	// All cells of all selected sweeps fan out over one worker pool;
+	// progress goes through a single renderer so concurrent completions
+	// never garble the \r status line.
+	prog := &progressRenderer{out: os.Stderr}
+	report := experiments.RunSweeps(sweeps, opts, experiments.Hooks{
+		Cell: prog.cell,
+		SweepDone: func(t experiments.SweepTiming) {
+			prog.line(fmt.Sprintf("%s done: %d cells in %v",
+				t.ID, t.Cells, t.Wall.Round(time.Millisecond)))
+		},
+	})
+	prog.clear()
+
+	for _, ce := range report.Errors {
+		fmt.Fprintf(os.Stderr, "figures: %v\n%s", ce, ce.Stack)
+	}
+
+	for _, res := range report.Results {
+		s := res.Sweep
 		txt := res.Render()
 		fmt.Println(txt)
 		write(*outDir, s.ID+".txt", txt)
@@ -79,13 +120,94 @@ func main() {
 			write(*outDir, s.ID+"_detail.txt", res.Detail())
 		}
 	}
-	fmt.Fprintf(os.Stderr, "all experiments done in %v; outputs in %s/\n",
-		time.Since(start).Round(time.Second), *outDir)
+	fmt.Fprintf(os.Stderr, "all experiments done: %d cells on %d workers in %v (%.2f cells/sec); outputs in %s/\n",
+		report.Cells, report.Jobs, report.Wall.Round(time.Second),
+		cellsPerSec(report.Cells, report.Wall), *outDir)
+
+	if *benchPath != "" {
+		if err := recordBench(*benchPath, report, *quick, *seed, *only); err != nil {
+			fatal(err)
+		}
+	}
 
 	// Table 1 / Table 2 are parameter tables; emit them for completeness.
 	if want("tab1") || len(selected) == 0 {
 		write(*outDir, "tab1.txt", table1())
 	}
+
+	if len(report.Errors) > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d cell(s) failed\n", len(report.Errors))
+		os.Exit(1)
+	}
+}
+
+// progressRenderer serializes all status output on one \r-overwritten
+// line, so concurrently-finishing sweeps never interleave mid-line.
+type progressRenderer struct {
+	mu     sync.Mutex
+	out    *os.File
+	active bool // a status line is currently displayed
+}
+
+func (r *progressRenderer) cell(done, total int, msg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.out, "\r%-70s", fmt.Sprintf("[%d/%d] %s", done, total, msg))
+	r.active = true
+}
+
+// line prints a persistent line, replacing any status line in place.
+func (r *progressRenderer) line(s string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.out, "\r%-70s\n", s)
+	r.active = false
+}
+
+func (r *progressRenderer) clear() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.active {
+		fmt.Fprintf(r.out, "\r%-70s\r", "")
+		r.active = false
+	}
+}
+
+func cellsPerSec(cells int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(cells) / wall.Seconds()
+}
+
+// recordBench appends this run to the perf-trajectory file, computing
+// speedup against the most recent recorded -jobs 1 run of the same mode.
+func recordBench(path string, report *experiments.Report, quick bool, seed int64, only string) error {
+	run := benchjson.NewRun()
+	run.Jobs = report.Jobs
+	run.Quick = quick
+	run.Seed = seed
+	run.Only = only
+	run.Cells = report.Cells
+	run.WallSeconds = report.Wall.Seconds()
+	run.CellsPerSec = cellsPerSec(report.Cells, report.Wall)
+	for _, t := range report.Timings {
+		run.Sweeps = append(run.Sweeps, benchjson.SweepBench{
+			ID:          t.ID,
+			Cells:       t.Cells,
+			WallSeconds: t.Wall.Seconds(),
+			CellsPerSec: cellsPerSec(t.Cells, t.Wall),
+		})
+	}
+	history, err := benchjson.Load(path)
+	if err != nil {
+		return err
+	}
+	if base := benchjson.Baseline(history, quick, seed, only); base != nil && run.WallSeconds > 0 {
+		run.SpeedupVsJobs1 = base.WallSeconds / run.WallSeconds
+		fmt.Fprintf(os.Stderr, "speedup vs recorded -jobs 1 run: %.2fx\n", run.SpeedupVsJobs1)
+	}
+	return benchjson.Append(path, run)
 }
 
 func table1() string {

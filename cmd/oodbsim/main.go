@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -31,6 +33,7 @@ func main() {
 	netMbps := flag.Float64("net", 80, "network bandwidth in Mbps")
 	scale := flag.Int("scale", 1, "database scale factor (txn size scales by sqrt-ish rule: x3 at x9)")
 	compare := flag.Bool("compare", false, "run all five protocols and print a comparison")
+	jobs := flag.Int("jobs", 0, "concurrent simulations in -compare mode (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print detailed metrics")
 	flag.Parse()
 
@@ -73,13 +76,34 @@ func main() {
 		spec.Kind, loc, *writeProb, spec.NumClients, spec.DBPages, *seed)
 	fmt.Printf("%-6s %10s %8s %9s %8s %8s %9s %8s %8s %8s\n",
 		"proto", "tput(t/s)", "±90%CI", "resp(ms)", "commits", "aborts", "msgs/c", "srvCPU", "disk", "net")
-	for _, p := range protos {
+
+	// Each protocol's run is an independent deterministic simulation;
+	// fan them out and print in protocol order.
+	nJobs := *jobs
+	if nJobs <= 0 {
+		nJobs = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*model.Results, len(protos))
+	sem := make(chan struct{}, nJobs)
+	var wg sync.WaitGroup
+	for i, p := range protos {
 		cfg := model.DefaultConfig(p, spec)
 		cfg.Seed = *seed
 		cfg.Warmup = *warmup
 		cfg.Measure = *measure
 		cfg.NetworkMbps = *netMbps
-		res := model.Run(cfg)
+		wg.Add(1)
+		go func(i int, cfg model.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = model.Run(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	for i, p := range protos {
+		res := results[i]
 		fmt.Printf("%-6s %10.2f %8.2f %9.1f %8d %8d %9.1f %8.2f %8.2f %8.2f\n",
 			p, res.Throughput, res.ThroughputCI, res.RespTime.Mean()*1000,
 			res.Commits, res.Aborts, res.MsgsPerCommit,

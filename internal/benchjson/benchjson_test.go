@@ -1,0 +1,73 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendLoadBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	if runs, err := Load(path); err != nil || runs != nil {
+		t.Fatalf("missing file: runs=%v err=%v", runs, err)
+	}
+
+	serial := NewRun()
+	serial.Jobs = 1
+	serial.Quick = true
+	serial.Seed = 42
+	serial.Cells = 664
+	serial.WallSeconds = 120
+	serial.CellsPerSec = float64(serial.Cells) / serial.WallSeconds
+	serial.Sweeps = []SweepBench{{ID: "fig3", Cells: 40, WallSeconds: 9, CellsPerSec: 40.0 / 9}}
+	serial.Benchmarks = map[string]Benchmark{
+		"BenchmarkFig03HotColdLowLocality": {NsPerOp: 2.1e9, BytesPerOp: 5.8e7, AllocsPerOp: 399165},
+	}
+	if err := Append(path, serial); err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := NewRun()
+	parallel.Jobs = 8
+	parallel.Quick = true
+	parallel.Seed = 42
+	parallel.Cells = 664
+	parallel.WallSeconds = 30
+	if err := Append(path, parallel); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[0].Jobs != 1 || runs[1].Jobs != 8 {
+		t.Fatalf("run order corrupted: %+v", runs)
+	}
+	if runs[0].Sweeps[0].ID != "fig3" {
+		t.Fatalf("sweep detail lost: %+v", runs[0])
+	}
+	if runs[0].GoVersion == "" || runs[0].Timestamp == "" || runs[0].NumCPU < 1 {
+		t.Fatalf("metadata missing: %+v", runs[0])
+	}
+	if b := runs[0].Benchmarks["BenchmarkFig03HotColdLowLocality"]; b.AllocsPerOp != 399165 {
+		t.Fatalf("benchmark detail lost: %+v", runs[0].Benchmarks)
+	}
+
+	base := Baseline(runs, true, 42, "")
+	if base == nil || base.WallSeconds != 120 {
+		t.Fatalf("baseline = %+v", base)
+	}
+	if Baseline(runs, false, 42, "") != nil {
+		t.Fatal("baseline matched the wrong mode")
+	}
+	if Baseline(runs, true, 7, "") != nil {
+		t.Fatal("baseline matched the wrong seed")
+	}
+	if Baseline(runs, true, 42, "fig3") != nil {
+		t.Fatal("baseline matched the wrong selection")
+	}
+}

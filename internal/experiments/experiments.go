@@ -39,6 +39,10 @@ type Opts struct {
 	Warmup  float64
 	Measure float64
 	Batches int
+	// Jobs is the worker count for the parallel runner (RunSweeps /
+	// RunParallel): 0 or negative means runtime.GOMAXPROCS(0). The
+	// serial Sweep.Run ignores it. Worker count never affects results.
+	Jobs int
 }
 
 // DefaultOpts returns the durations used for the recorded experiments.
@@ -60,7 +64,9 @@ type Row struct {
 	Res       map[core.Protocol]*model.Results
 }
 
-// Run executes the sweep.
+// Run executes the sweep serially on the calling goroutine. It is the
+// reference path the parallel runner (RunParallel / RunSweeps) must match
+// byte for byte.
 func (s *Sweep) Run(o Opts, progress func(msg string)) *Result {
 	protos := s.Protocols
 	if protos == nil {
@@ -70,15 +76,7 @@ func (s *Sweep) Run(o Opts, progress func(msg string)) *Result {
 	for _, wp := range s.WriteProbs {
 		row := Row{WriteProb: wp, Res: make(map[core.Protocol]*model.Results)}
 		for _, proto := range protos {
-			w := s.Spec(wp)
-			cfg := model.DefaultConfig(proto, w)
-			cfg.Seed = o.Seed
-			cfg.Warmup = o.Warmup
-			cfg.Measure = o.Measure
-			cfg.Batches = o.Batches
-			if s.Configure != nil {
-				s.Configure(&cfg)
-			}
+			cfg := s.cellConfig(wp, proto, o)
 			if progress != nil {
 				progress(fmt.Sprintf("%s: %s wp=%.2f", s.ID, proto, wp))
 			}
@@ -89,15 +87,21 @@ func (s *Sweep) Run(o Opts, progress func(msg string)) *Result {
 	return out
 }
 
-// value extracts the plotted metric for a protocol at a row.
+// value extracts the plotted metric for a protocol at a row. A missing
+// entry (skipped protocol or failed cell) renders as NaN rather than
+// panicking.
 func (r *Result) value(row Row, p core.Protocol) float64 {
-	v := row.Res[p].Throughput
+	res := row.Res[p]
+	if res == nil {
+		return math.NaN()
+	}
+	v := res.Throughput
 	if r.Sweep.Normalize {
-		base := row.Res[core.PSAA].Throughput
-		if base == 0 {
+		base := row.Res[core.PSAA]
+		if base == nil || base.Throughput == 0 {
 			return math.NaN()
 		}
-		return v / base
+		return v / base.Throughput
 	}
 	return v
 }
@@ -139,11 +143,15 @@ func (r *Result) CSV() string {
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%g", row.WriteProb)
 		for _, p := range r.Protocols {
-			res := row.Res[p]
 			v := r.value(row, p)
-			ci := res.ThroughputCI
-			if r.Sweep.Normalize && row.Res[core.PSAA].Throughput > 0 {
-				ci = ci / row.Res[core.PSAA].Throughput
+			ci := math.NaN()
+			if res := row.Res[p]; res != nil {
+				ci = res.ThroughputCI
+				if r.Sweep.Normalize {
+					if base := row.Res[core.PSAA]; base != nil && base.Throughput > 0 {
+						ci = ci / base.Throughput
+					}
+				}
 			}
 			fmt.Fprintf(&b, ",%.4f,%.4f", v, ci)
 		}
@@ -160,6 +168,11 @@ func (r *Result) Detail() string {
 	for _, row := range r.Rows {
 		for _, p := range r.Protocols {
 			res := row.Res[p]
+			if res == nil {
+				fmt.Fprintf(&b, "wp=%.3f %-6s (missing: cell skipped or failed)\n",
+					row.WriteProb, p.String())
+				continue
+			}
 			fmt.Fprintf(&b,
 				"wp=%.3f %-6s tput=%7.2f ±%5.2f msgs/c=%6.1f aborts=%5d dl=%4d cb=%6d busy=%5d deesc=%5d pgX=%6d objX=%6d srvCPU=%.2f disk=%.2f net=%.2f\n",
 				row.WriteProb, p.String(), res.Throughput, res.ThroughputCI,

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; tests use
+// it to shrink simulation volume (race overhead is ~10×) while keeping the
+// worker pool itself fully exercised.
+const raceEnabled = true

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// This file is the parallel sweep runner. Every (sweep, writeProb,
+// protocol) cell is an independent, deterministic, single-goroutine
+// simulation, so a sweep — or a whole catalogue of sweeps — fans out over
+// a worker pool and reassembles into exactly the grid the serial path
+// produces. Cell configs are built up-front on the calling goroutine (so
+// Spec/Configure closures never run concurrently), results land in a
+// pre-sized slice grid indexed by cell (never a shared map), and the Res
+// maps are assembled after the pool drains.
+
+// Cell identifies one simulation of a sweep run.
+type Cell struct {
+	SweepID   string
+	WriteProb float64
+	Proto     core.Protocol
+}
+
+// ID renders the cell as "fig3/PS-AA/wp=0.15".
+func (c Cell) ID() string {
+	return fmt.Sprintf("%s/%s/wp=%g", c.SweepID, c.Proto, c.WriteProb)
+}
+
+// CellError reports a simulation cell whose run panicked. The cell's slot
+// in the result grid stays empty (rendered as NaN) while every other cell
+// completes normally.
+type CellError struct {
+	Cell  Cell
+	Panic any
+	Stack []byte
+}
+
+func (e CellError) Error() string {
+	return fmt.Sprintf("experiments: cell %s panicked: %v", e.Cell.ID(), e.Panic)
+}
+
+// SweepTiming records one sweep's share of a parallel run: cell count and
+// the wall-clock from its first cell starting to its last cell completing
+// (cells of other sweeps may interleave within that window).
+type SweepTiming struct {
+	ID    string
+	Cells int
+	Wall  time.Duration
+}
+
+// Hooks carries the optional observation callbacks of a parallel run.
+// Both are serialized by the runner's mutex; neither needs its own
+// locking, but implementations must not call back into the runner.
+type Hooks struct {
+	// Cell fires after every cell completes (or panics), with the number
+	// of finished cells, the total, and the finished cell's label.
+	Cell func(done, total int, msg string)
+	// SweepDone fires when the last cell of a sweep completes.
+	SweepDone func(t SweepTiming)
+}
+
+// Report is the outcome of RunSweeps.
+type Report struct {
+	Results []*Result     // one per input sweep, in input order
+	Errors  []CellError   // cells that panicked, in completion order
+	Timings []SweepTiming // one per input sweep, in input order
+	Wall    time.Duration // total wall-clock of the pool
+	Cells   int           // total cells executed
+	Jobs    int           // worker count actually used
+}
+
+// jobs resolves the worker count: Opts.Jobs if positive, else GOMAXPROCS.
+func (o Opts) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cellWork is one prepared unit: a fully-built config plus its grid slot.
+type cellWork struct {
+	cell     Cell
+	cfg      model.Config
+	sweepIdx int
+	rowIdx   int
+	protoIdx int
+}
+
+// RunSweeps executes every cell of every sweep on a pool of o.Jobs
+// workers (default runtime.GOMAXPROCS(0)). Results are deterministic and
+// identical to Sweep.Run regardless of worker count: the same per-cell
+// configs (seed included) are built in the same order, and each result
+// lands in its own pre-assigned grid slot.
+func RunSweeps(sweeps []*Sweep, o Opts, hooks Hooks) *Report {
+	start := time.Now()
+
+	// Build every cell config serially, in the serial path's order.
+	var cells []cellWork
+	protosOf := make([][]core.Protocol, len(sweeps))
+	cellsLeft := make([]int, len(sweeps)) // per-sweep unfinished count
+	for si, s := range sweeps {
+		protos := s.Protocols
+		if protos == nil {
+			protos = core.Protocols
+		}
+		protosOf[si] = protos
+		for ri, wp := range s.WriteProbs {
+			for pi, proto := range protos {
+				cells = append(cells, cellWork{
+					cell:     Cell{SweepID: s.ID, WriteProb: wp, Proto: proto},
+					cfg:      s.cellConfig(wp, proto, o),
+					sweepIdx: si,
+					rowIdx:   ri,
+					protoIdx: pi,
+				})
+			}
+		}
+		cellsLeft[si] = len(s.WriteProbs) * len(protos)
+	}
+
+	// grid[sweep][row][proto]; each worker writes only its own slot.
+	grid := make([][][]*model.Results, len(sweeps))
+	for si, s := range sweeps {
+		grid[si] = make([][]*model.Results, len(s.WriteProbs))
+		for ri := range grid[si] {
+			grid[si][ri] = make([]*model.Results, len(protosOf[si]))
+		}
+	}
+
+	report := &Report{
+		Timings: make([]SweepTiming, len(sweeps)),
+		Cells:   len(cells),
+		Jobs:    o.jobs(),
+	}
+	for si, s := range sweeps {
+		report.Timings[si] = SweepTiming{ID: s.ID, Cells: cellsLeft[si]}
+	}
+
+	var (
+		mu      sync.Mutex
+		next    atomic.Int64
+		done    int
+		wg      sync.WaitGroup
+		startAt = make([]time.Time, len(sweeps)) // first-cell start per sweep
+	)
+	workers := report.Jobs
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(cells) {
+					return
+				}
+				c := &cells[i]
+				mu.Lock()
+				if startAt[c.sweepIdx].IsZero() {
+					startAt[c.sweepIdx] = time.Now()
+				}
+				mu.Unlock()
+				res, cellErr := runCell(c)
+				grid[c.sweepIdx][c.rowIdx][c.protoIdx] = res
+
+				mu.Lock()
+				done++
+				if cellErr != nil {
+					report.Errors = append(report.Errors, *cellErr)
+				}
+				cellsLeft[c.sweepIdx]--
+				if cellsLeft[c.sweepIdx] == 0 {
+					report.Timings[c.sweepIdx].Wall = time.Since(startAt[c.sweepIdx])
+					if hooks.SweepDone != nil {
+						hooks.SweepDone(report.Timings[c.sweepIdx])
+					}
+				}
+				if hooks.Cell != nil {
+					hooks.Cell(done, len(cells), c.cell.ID())
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	report.Wall = time.Since(start)
+
+	// Assemble the per-sweep Results exactly as the serial path does.
+	report.Results = make([]*Result, len(sweeps))
+	for si, s := range sweeps {
+		out := &Result{Sweep: s, Protocols: protosOf[si]}
+		for ri, wp := range s.WriteProbs {
+			row := Row{WriteProb: wp, Res: make(map[core.Protocol]*model.Results)}
+			for pi, proto := range protosOf[si] {
+				if r := grid[si][ri][pi]; r != nil {
+					row.Res[proto] = r
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		report.Results[si] = out
+	}
+	return report
+}
+
+// runCell executes one simulation, converting a panic into a CellError.
+func runCell(c *cellWork) (res *model.Results, err *CellError) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &CellError{Cell: c.cell, Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	return model.Run(c.cfg), nil
+}
+
+// cellConfig builds the config for one cell — shared verbatim by the
+// serial and parallel paths so both simulate identical systems.
+func (s *Sweep) cellConfig(wp float64, proto core.Protocol, o Opts) model.Config {
+	w := s.Spec(wp)
+	cfg := model.DefaultConfig(proto, w)
+	cfg.Seed = o.Seed
+	cfg.Warmup = o.Warmup
+	cfg.Measure = o.Measure
+	cfg.Batches = o.Batches
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	return cfg
+}
+
+// RunParallel executes the sweep on a worker pool and returns its result
+// plus any per-cell panics. progress may be nil.
+func (s *Sweep) RunParallel(o Opts, progress func(done, total int, msg string)) (*Result, []CellError) {
+	rep := RunSweeps([]*Sweep{s}, o, Hooks{Cell: progress})
+	return rep.Results[0], rep.Errors
+}

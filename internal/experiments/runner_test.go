@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// trimmedCatalogue returns every catalogue sweep with its x-axis cut to
+// two points, so determinism is checked across every workload family and
+// protocol set without hour-long test runs. Under the race detector the
+// catalogue is additionally strided down to a sample of sweeps — the
+// detector's ~10× slowdown would push the full set past go test's default
+// timeout, and the pool's concurrency is identical for any sweep mix.
+func trimmedCatalogue() []*Sweep {
+	sweeps := Catalogue()
+	for _, s := range sweeps {
+		if len(s.WriteProbs) > 2 {
+			s.WriteProbs = []float64{s.WriteProbs[0], s.WriteProbs[len(s.WriteProbs)-1]}
+		}
+	}
+	if raceEnabled {
+		var sampled []*Sweep
+		for i := 0; i < len(sweeps); i += 4 {
+			sampled = append(sampled, sweeps[i])
+		}
+		sweeps = sampled
+	}
+	return sweeps
+}
+
+// TestParallelMatchesSerialEveryCatalogueSweep is the harness's core
+// guarantee: for every catalogue sweep under QuickOpts, the parallel
+// runner at Jobs=4 renders byte-identically to the serial path, and two
+// parallel runs with the same seed are identical to each other.
+func TestParallelMatchesSerialEveryCatalogueSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full (trimmed) catalogue three times")
+	}
+	serialSweeps := trimmedCatalogue()
+	opts := QuickOpts()
+
+	serialRender := make(map[string]string)
+	serialCSV := make(map[string]string)
+	for _, s := range serialSweeps {
+		res := s.Run(opts, nil)
+		serialRender[s.ID] = res.Render()
+		serialCSV[s.ID] = res.CSV()
+	}
+
+	par := opts
+	par.Jobs = 4
+	for round := 0; round < 2; round++ {
+		rep := RunSweeps(trimmedCatalogue(), par, Hooks{})
+		if len(rep.Errors) != 0 {
+			t.Fatalf("round %d: cell errors: %v", round, rep.Errors[0])
+		}
+		for _, res := range rep.Results {
+			id := res.Sweep.ID
+			if got := res.Render(); got != serialRender[id] {
+				t.Errorf("round %d: %s Render differs from serial:\nparallel:\n%s\nserial:\n%s",
+					round, id, got, serialRender[id])
+			}
+			if got := res.CSV(); got != serialCSV[id] {
+				t.Errorf("round %d: %s CSV differs from serial", round, id)
+			}
+		}
+	}
+}
+
+// TestRunSweepsProgressAndTimings checks the thread-safe progress
+// callback sees every cell exactly once with monotonically-increasing
+// done counts, and per-sweep timings cover every cell.
+func TestRunSweepsProgressAndTimings(t *testing.T) {
+	sweeps := []*Sweep{Find("fig3"), Find("x-wtoken")}
+	sweeps[0].WriteProbs = []float64{0.1}
+	sweeps[1].WriteProbs = []float64{0.1}
+	wantCells := len(core.Protocols) + len(sweeps[1].Protocols)
+
+	var mu sync.Mutex
+	var dones []int
+	var sweepDone []string
+	opts := Opts{Seed: 3, Warmup: 1, Measure: 4, Batches: 2, Jobs: 4}
+	rep := RunSweeps(sweeps, opts, Hooks{
+		Cell: func(done, total int, msg string) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != wantCells {
+				t.Errorf("total = %d, want %d", total, wantCells)
+			}
+			dones = append(dones, done)
+		},
+		SweepDone: func(tm SweepTiming) {
+			mu.Lock()
+			defer mu.Unlock()
+			sweepDone = append(sweepDone, tm.ID)
+			if tm.Wall <= 0 {
+				t.Errorf("%s: non-positive wall %v", tm.ID, tm.Wall)
+			}
+		},
+	})
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors: %v", rep.Errors[0])
+	}
+	if len(dones) != wantCells {
+		t.Fatalf("progress fired %d times, want %d", len(dones), wantCells)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done counts not monotonic: %v", dones)
+		}
+	}
+	if len(sweepDone) != 2 {
+		t.Fatalf("sweepDone fired for %v", sweepDone)
+	}
+	if rep.Cells != wantCells || rep.Jobs != 4 {
+		t.Fatalf("report cells=%d jobs=%d", rep.Cells, rep.Jobs)
+	}
+	total := 0
+	for _, tm := range rep.Timings {
+		total += tm.Cells
+	}
+	if total != wantCells {
+		t.Fatalf("timings cover %d cells, want %d", total, wantCells)
+	}
+}
+
+// TestParallelPanicCapture injects a sweep whose PS-OO cell panics in
+// model.Run and checks: the error names the cell, every other cell
+// completes, and Render/CSV emit NaN for the missing entry instead of
+// panicking.
+func TestParallelPanicCapture(t *testing.T) {
+	s := Find("fig3")
+	s.WriteProbs = []float64{0.1}
+	s.Protocols = []core.Protocol{core.PS, core.PSOO, core.PSAA}
+	s.Configure = func(cfg *model.Config) {
+		if cfg.Proto == core.PSOO {
+			cfg.Batches = 0 // model.Run panics: need at least 2 batches
+		}
+	}
+	res, errs := s.RunParallel(Opts{Seed: 3, Warmup: 1, Measure: 4, Batches: 2, Jobs: 2}, nil)
+	if len(errs) != 1 {
+		t.Fatalf("errors = %d, want 1", len(errs))
+	}
+	ce := errs[0]
+	if ce.Cell.ID() != "fig3/PS-OO/wp=0.1" {
+		t.Fatalf("cell id = %q", ce.Cell.ID())
+	}
+	if !strings.Contains(ce.Error(), "fig3/PS-OO") || len(ce.Stack) == 0 {
+		t.Fatalf("error lacks cell id or stack: %v", ce)
+	}
+	row := res.Rows[0]
+	if row.Res[core.PSOO] != nil {
+		t.Fatal("panicked cell produced a result")
+	}
+	if row.Res[core.PS] == nil || row.Res[core.PSAA] == nil {
+		t.Fatal("surviving cells missing")
+	}
+	if v := res.value(row, core.PSOO); !math.IsNaN(v) {
+		t.Fatalf("missing cell value = %v, want NaN", v)
+	}
+	txt := res.Render()
+	if !strings.Contains(txt, "NaN") {
+		t.Fatalf("Render lacks NaN for the failed cell:\n%s", txt)
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "NaN,NaN") {
+		t.Fatalf("CSV lacks NaN,NaN for the failed cell:\n%s", csv)
+	}
+	if d := res.Detail(); !strings.Contains(d, "missing") {
+		t.Fatalf("Detail lacks the missing marker:\n%s", d)
+	}
+}
+
+// TestValueNaNOnMissingProtocol covers the satellite guard directly:
+// a row without a protocol entry must render NaN, including the
+// normalized case where the PS-AA base itself is missing.
+func TestValueNaNOnMissingProtocol(t *testing.T) {
+	s := &Sweep{ID: "synthetic", Protocols: []core.Protocol{core.PS, core.PSAA}}
+	r := &Result{Sweep: s, Protocols: s.Protocols}
+	row := Row{WriteProb: 0.1, Res: map[core.Protocol]*model.Results{
+		core.PS: {Throughput: 5},
+	}}
+	r.Rows = []Row{row}
+	if v := r.value(row, core.PSAA); !math.IsNaN(v) {
+		t.Fatalf("missing entry = %v, want NaN", v)
+	}
+	if v := r.value(row, core.PS); v != 5 {
+		t.Fatalf("present entry = %v, want 5", v)
+	}
+	s.Normalize = true
+	if v := r.value(row, core.PS); !math.IsNaN(v) {
+		t.Fatalf("normalized with missing base = %v, want NaN", v)
+	}
+	if out := r.CSV(); !strings.Contains(out, "NaN") {
+		t.Fatalf("CSV lacks NaN: %s", out)
+	}
+	if out := r.Render(); !strings.Contains(out, "NaN") {
+		t.Fatalf("Render lacks NaN: %s", out)
+	}
+}
+
+// TestJobsResolution pins the Opts.Jobs default behavior.
+func TestJobsResolution(t *testing.T) {
+	if (Opts{Jobs: 3}).jobs() != 3 {
+		t.Fatal("explicit Jobs not honored")
+	}
+	if (Opts{}).jobs() < 1 {
+		t.Fatal("default jobs must be at least 1")
+	}
+}

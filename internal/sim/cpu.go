@@ -17,10 +17,12 @@ type CPU struct {
 
 	sysQ      []cpuJob
 	sysActive bool
+	sysFireFn func() // cached completion closure for the head system job
 
-	userJobs []*userJob
-	lastUser float64 // virtual time at which user remaining was last advanced
-	userGen  int64   // invalidates stale user completion events
+	userJobs   []userJob
+	lastUser   float64 // virtual time at which user remaining was last advanced
+	userTimer  Timer   // pending user completion event (stopped when superseded)
+	userFireFn func()  // cached user completion closure
 
 	// Stats.
 	SysBusy  float64 // cumulative seconds spent on system requests
@@ -46,7 +48,10 @@ func NewCPU(e *Engine, mips float64) *CPU {
 	if mips <= 0 {
 		panic("sim: CPU speed must be positive")
 	}
-	return &CPU{e: e, ips: mips * 1e6, lastUser: e.Now()}
+	c := &CPU{e: e, ips: mips * 1e6, lastUser: e.Now()}
+	c.sysFireFn = c.sysFire
+	c.userFireFn = c.userFire
+	return c
 }
 
 // MIPS returns the configured speed in millions of instructions/second.
@@ -68,37 +73,37 @@ func (c *CPU) UseSystem(instr float64, done func()) {
 	}
 }
 
+// startNextSys schedules the completion of the head system job. Exactly
+// one system completion event is outstanding at a time, so the head of
+// sysQ at fire time is the job that was scheduled.
 func (c *CPU) startNextSys() {
+	c.e.At(c.sysQ[0].instr/c.ips, c.sysFireFn)
+}
+
+func (c *CPU) sysFire() {
+	// Pop the completed job.
 	job := c.sysQ[0]
-	c.e.At(job.instr/c.ips, func() {
-		// Pop the completed job.
-		copy(c.sysQ, c.sysQ[1:])
-		c.sysQ[len(c.sysQ)-1] = cpuJob{}
-		c.sysQ = c.sysQ[:len(c.sysQ)-1]
-		if len(c.sysQ) > 0 {
-			if job.done != nil {
-				job.done()
-			}
-			// done() may have appended more system work; the queue is
-			// non-empty either way.
-			c.startNextSys()
-			return
-		}
-		// Queue drained: resume user progress before running done, since
-		// done may enqueue new work.
-		c.sysActive = false
-		c.SysBusy += c.e.Now() - c.sysStart
-		c.lastUser = c.e.Now()
-		c.scheduleUser()
+	copy(c.sysQ, c.sysQ[1:])
+	c.sysQ[len(c.sysQ)-1] = cpuJob{}
+	c.sysQ = c.sysQ[:len(c.sysQ)-1]
+	if len(c.sysQ) > 0 {
 		if job.done != nil {
 			job.done()
 		}
-		if len(c.sysQ) > 0 && !c.sysActive {
-			// done() enqueued a system job via a path that saw sysActive
-			// already false; UseSystem handled activation itself.
-			_ = c
-		}
-	})
+		// done() may have appended more system work; the queue is
+		// non-empty either way.
+		c.startNextSys()
+		return
+	}
+	// Queue drained: resume user progress before running done, since
+	// done may enqueue new work.
+	c.sysActive = false
+	c.SysBusy += c.e.Now() - c.sysStart
+	c.lastUser = c.e.Now()
+	c.scheduleUser()
+	if job.done != nil {
+		job.done()
+	}
 }
 
 // UseUser schedules a processor-shared user request of the given number of
@@ -108,19 +113,19 @@ func (c *CPU) UseUser(instr float64, done func()) {
 		panic("sim: negative instruction count")
 	}
 	c.advanceUsers()
-	c.userJobs = append(c.userJobs, &userJob{remaining: instr, done: done})
+	c.userJobs = append(c.userJobs, userJob{remaining: instr, done: done})
 	c.scheduleUser()
 }
 
 // UseSystemP is UseSystem but blocks the calling process until completion.
 func (c *CPU) UseSystemP(p *Proc, instr float64) {
-	c.UseSystem(instr, func() { p.Unpark() })
+	c.UseSystem(instr, p.unparkFn)
 	p.Park()
 }
 
 // UseUserP is UseUser but blocks the calling process until completion.
 func (c *CPU) UseUserP(p *Proc, instr float64) {
-	c.UseUser(instr, func() { p.Unpark() })
+	c.UseUser(instr, p.unparkFn)
 	p.Park()
 }
 
@@ -135,52 +140,53 @@ func (c *CPU) advanceUsers() {
 		return
 	}
 	rate := c.ips / float64(len(c.userJobs))
-	for _, j := range c.userJobs {
-		j.remaining -= rate * dt
+	for i := range c.userJobs {
+		c.userJobs[i].remaining -= rate * dt
 	}
 	c.UserBusy += dt
 }
 
-// scheduleUser (re)schedules the next user-job completion event.
+// scheduleUser (re)schedules the next user-job completion event, stopping
+// any previously-scheduled one.
 func (c *CPU) scheduleUser() {
-	c.userGen++
+	c.userTimer.Stop()
+	c.userTimer = Timer{}
 	if c.sysActive || len(c.userJobs) == 0 {
 		return
 	}
 	minRem := c.userJobs[0].remaining
-	for _, j := range c.userJobs[1:] {
-		if j.remaining < minRem {
-			minRem = j.remaining
+	for i := 1; i < len(c.userJobs); i++ {
+		if c.userJobs[i].remaining < minRem {
+			minRem = c.userJobs[i].remaining
 		}
 	}
 	if minRem < 0 {
 		minRem = 0
 	}
 	d := minRem * float64(len(c.userJobs)) / c.ips
-	gen := c.userGen
-	c.e.At(d, func() {
-		if gen != c.userGen {
-			return // superseded by a later state change
-		}
-		c.advanceUsers()
-		// Complete all jobs that have (within tolerance) finished, FIFO.
-		var doneJobs []func()
-		kept := c.userJobs[:0]
-		for _, j := range c.userJobs {
-			if j.remaining <= userEps {
-				if j.done != nil {
-					doneJobs = append(doneJobs, j.done)
-				}
-			} else {
-				kept = append(kept, j)
+	c.userTimer = c.e.At(d, c.userFireFn)
+}
+
+func (c *CPU) userFire() {
+	c.userTimer = Timer{}
+	c.advanceUsers()
+	// Complete all jobs that have (within tolerance) finished, FIFO.
+	var doneJobs []func()
+	kept := c.userJobs[:0]
+	for _, j := range c.userJobs {
+		if j.remaining <= userEps {
+			if j.done != nil {
+				doneJobs = append(doneJobs, j.done)
 			}
+		} else {
+			kept = append(kept, j)
 		}
-		c.userJobs = kept
-		c.scheduleUser()
-		for _, fn := range doneJobs {
-			fn()
-		}
-	})
+	}
+	c.userJobs = kept
+	c.scheduleUser()
+	for _, fn := range doneJobs {
+		fn()
+	}
 }
 
 // Busy reports whether any request (system or user) is in progress.

@@ -11,8 +11,10 @@ type Disk struct {
 	minTime float64
 	maxTime float64
 
-	busy  bool
-	queue []func() // completion callbacks of queued requests
+	busy   bool
+	queue  []func() // completion callbacks of queued requests
+	curSvc float64  // service time of the request in service
+	fireFn func()   // cached completion closure
 
 	// Stats.
 	IOs      int64
@@ -25,7 +27,9 @@ func NewDisk(e *Engine, rng *rand.Rand, minTime, maxTime float64) *Disk {
 	if minTime < 0 || maxTime < minTime {
 		panic("sim: invalid disk time range")
 	}
-	return &Disk{e: e, rng: rng, minTime: minTime, maxTime: maxTime}
+	d := &Disk{e: e, rng: rng, minTime: minTime, maxTime: maxTime}
+	d.fireFn = d.fire
+	return d
 }
 
 // IO enqueues an I/O request; done runs when the access completes.
@@ -39,28 +43,32 @@ func (d *Disk) IO(done func()) {
 
 // IOP is IO but blocks the calling process until the access completes.
 func (d *Disk) IOP(p *Proc) {
-	d.IO(func() { p.Unpark() })
+	d.IO(p.unparkFn)
 	p.Park()
 }
 
+// serveNext schedules completion of the head request. Exactly one disk
+// completion event is outstanding at a time (FIFO single server).
 func (d *Disk) serveNext() {
-	svc := d.minTime + d.rng.Float64()*(d.maxTime-d.minTime)
-	d.e.At(svc, func() {
-		d.IOs++
-		d.BusyTime += svc
-		done := d.queue[0]
-		copy(d.queue, d.queue[1:])
-		d.queue[len(d.queue)-1] = nil
-		d.queue = d.queue[:len(d.queue)-1]
-		if len(d.queue) > 0 {
-			d.serveNext()
-		} else {
-			d.busy = false
-		}
-		if done != nil {
-			done()
-		}
-	})
+	d.curSvc = d.minTime + d.rng.Float64()*(d.maxTime-d.minTime)
+	d.e.At(d.curSvc, d.fireFn)
+}
+
+func (d *Disk) fire() {
+	d.IOs++
+	d.BusyTime += d.curSvc
+	done := d.queue[0]
+	copy(d.queue, d.queue[1:])
+	d.queue[len(d.queue)-1] = nil
+	d.queue = d.queue[:len(d.queue)-1]
+	if len(d.queue) > 0 {
+		d.serveNext()
+	} else {
+		d.busy = false
+	}
+	if done != nil {
+		done()
+	}
 }
 
 // QueueLen returns the number of requests pending or in service.

@@ -11,46 +11,42 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// event is a scheduled closure.
+// event is a scheduled closure. Fired and cancelled events are recycled
+// through the engine's free list; gen distinguishes a live incarnation
+// from a stale Timer handle that outlived a recycle.
 type event struct {
+	e    *Engine
 	at   float64
 	seq  int64
+	gen  uint64 // bumped on recycle; Timer handles remember the gen they saw
 	fn   func()
 	dead bool // cancelled
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+
+// initialHeapCap pre-sizes the event heap and free list so steady-state
+// simulations never grow them.
+const initialHeapCap = 256
 
 // Engine is a discrete-event simulation engine. It is not safe for
 // concurrent use; all interaction must happen from process goroutines it
 // manages or from event callbacks it invokes.
 type Engine struct {
-	now    float64
-	seq    int64
-	events eventHeap
+	now     float64
+	seq     int64
+	events  []*event // binary min-heap ordered by (at, seq)
+	free    []*event // recycled events awaiting reuse
+	pending int      // scheduled non-cancelled events (O(1) Pending)
 
 	yield   chan struct{} // process -> scheduler handoff
 	running bool
@@ -59,7 +55,11 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at time zero.
 func NewEngine() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{
+		events: make([]*event, 0, initialHeapCap),
+		free:   make([]*event, 0, initialHeapCap),
+		yield:  make(chan struct{}),
+	}
 }
 
 // Now returns the current virtual time in seconds.
@@ -67,27 +67,95 @@ func (e *Engine) Now() float64 { return e.now }
 
 // At schedules fn to run after delay d (seconds). It returns a handle that
 // can cancel the event before it fires.
-func (e *Engine) At(d float64, fn func()) *Timer {
+func (e *Engine) At(d float64, fn func()) Timer {
 	if d < 0 || math.IsNaN(d) {
 		panic(fmt.Sprintf("sim: negative or NaN delay %v", d))
 	}
 	e.seq++
-	ev := &event{at: e.now + d, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{e: e}
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = e.now+d, e.seq, fn, false
+	e.pushEvent(ev)
+	e.pending++
+	return Timer{ev: ev, gen: ev.gen}
 }
 
-// Timer is a handle to a scheduled event.
-type Timer struct{ ev *event }
+// recycle returns a popped event to the free list. Bumping gen invalidates
+// every Timer handle pointing at this incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.dead = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// pushEvent inserts ev into the heap (sift-up).
+func (e *Engine) pushEvent(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// popEvent removes and returns the earliest event (sift-down).
+func (e *Engine) popEvent() *event {
+	h := e.events
+	n := len(h) - 1
+	min := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			c = r
+		}
+		if !eventLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return min
+}
+
+// Timer is a handle to a scheduled event. The zero Timer is valid and
+// Stop on it reports false.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
 // Stop cancels the event if it has not fired yet. It reports whether the
-// event was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// event was still pending. Stop on a handle whose event already fired (and
+// was possibly recycled for a later event) is a no-op.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.dead {
 		return false
 	}
-	t.ev.dead = true
-	t.ev.fn = nil
+	ev.dead = true
+	ev.fn = nil
+	ev.e.pending--
 	return true
 }
 
@@ -104,15 +172,19 @@ func (e *Engine) Run(until float64) float64 {
 		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.events)
+		e.popEvent()
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.pending--
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < until {
 		e.now = until
@@ -124,27 +196,23 @@ func (e *Engine) Run(until float64) float64 {
 // remain. Intended for tests.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.popEvent()
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		e.pending--
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
 }
 
-// Pending reports the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of scheduled (non-cancelled) events in O(1).
+func (e *Engine) Pending() int { return e.pending }
 
 // Procs reports the number of live processes (spawned and not finished).
 func (e *Engine) Procs() int { return e.procs }

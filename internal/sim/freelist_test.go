@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStaleTimerStopAfterRecycle: once an event fires it is recycled onto
+// the free list; a later At reuses the same event struct. The stale Timer
+// from the first schedule must be a no-op and must not kill the new event.
+func TestStaleTimerStopAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	firedA, firedB := false, false
+	tmA := e.At(1, func() { firedA = true })
+	e.Run(2)
+	if !firedA {
+		t.Fatal("first event did not fire")
+	}
+	// The free list now holds A's event struct; B reuses it.
+	tmB := e.At(1, func() { firedB = true })
+	if tmB.ev != tmA.ev {
+		t.Fatal("expected event struct reuse from the free list")
+	}
+	if tmA.Stop() {
+		t.Fatal("stale Stop reported a pending event")
+	}
+	e.Run(5)
+	if !firedB {
+		t.Fatal("stale Stop killed the recycled event")
+	}
+	if tmA.Stop() || tmB.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+// TestStaleTimerStopAfterCancelAndReuse covers the cancel path: a stopped
+// event is recycled when popped; a stale handle to it must stay inert.
+func TestStaleTimerStopAfterCancelAndReuse(t *testing.T) {
+	e := NewEngine()
+	tmA := e.At(1, func() { t.Fatal("cancelled event fired") })
+	if !tmA.Stop() {
+		t.Fatal("Stop should report pending")
+	}
+	e.Run(2) // pops + recycles the dead event
+	fired := false
+	tmB := e.At(1, func() { fired = true })
+	if tmB.ev != tmA.ev {
+		t.Fatal("expected event struct reuse from the free list")
+	}
+	if tmA.Stop() {
+		t.Fatal("stale Stop on cancelled+recycled event reported pending")
+	}
+	e.Run(5)
+	if !fired {
+		t.Fatal("reused event did not fire")
+	}
+}
+
+// TestPendingCounterExact checks the O(1) Pending counter against every
+// transition: schedule, cancel, double-cancel, fire, and reuse.
+func TestPendingCounterExact(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatalf("fresh engine Pending = %d", e.Pending())
+	}
+	t1 := e.At(1, func() {})
+	t2 := e.At(2, func() {})
+	e.At(3, func() {})
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	t2.Stop()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", e.Pending())
+	}
+	t2.Stop() // double cancel must not decrement again
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after double cancel = %d, want 2", e.Pending())
+	}
+	e.Run(1) // fires t1
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after fire = %d, want 1", e.Pending())
+	}
+	t1.Stop() // stale: t1 already fired
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after stale stop = %d, want 1", e.Pending())
+	}
+	e.At(0.5, func() {}) // reuses a recycled event
+	if e.Pending() != 2 {
+		t.Fatalf("Pending after reuse = %d, want 2", e.Pending())
+	}
+	e.Run(10)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+// TestPendingCounterRandomized cross-checks the counter against a
+// brute-force count over thousands of random schedule/cancel/step
+// operations with event reuse in play.
+func TestPendingCounterRandomized(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(11))
+	var timers []Timer
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			timers = append(timers, e.At(rng.Float64(), func() {}))
+		case 1:
+			if len(timers) > 0 {
+				timers[rng.Intn(len(timers))].Stop()
+			}
+		case 2:
+			e.Step()
+		}
+		// Brute-force ground truth over the live heap.
+		n := 0
+		for _, ev := range e.events {
+			if !ev.dead {
+				n++
+			}
+		}
+		if e.Pending() != n {
+			t.Fatalf("op %d: Pending = %d, heap holds %d live events", i, e.Pending(), n)
+		}
+	}
+}
+
+// TestStepRecyclesEvents ensures Step participates in the free list like
+// Run does.
+func TestStepRecyclesEvents(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(1, func() {})
+	if !e.Step() {
+		t.Fatal("Step found no event")
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events, want 1", len(e.free))
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after Step-fire reported pending")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+}
+
+// TestFreeListReuseKeepsOrdering runs a scenario hot enough to cycle
+// events through the free list many times and checks FIFO-at-equal-time
+// ordering still holds (seq keeps increasing across reuses).
+func TestFreeListReuseKeepsOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	n := 0
+	var chain func()
+	chain = func() {
+		if n >= 100 {
+			return
+		}
+		n++
+		k := n
+		e.At(0, func() { order = append(order, k*2) })
+		e.At(0, func() { order = append(order, k*2+1); chain() })
+	}
+	chain()
+	e.Run(1)
+	if len(order) != 200 {
+		t.Fatalf("fired %d events, want 200", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("scheduling order violated at %d: %d then %d", i, order[i-1], order[i])
+		}
+	}
+}

@@ -13,6 +13,8 @@ type Network struct {
 	bytesPerSec float64
 	busy        bool
 	queue       []netMsg
+	curSvc      float64 // service time of the message in service
+	fireFn      func()  // cached completion closure
 
 	// Stats.
 	Msgs     int64
@@ -31,7 +33,9 @@ func NewNetwork(e *Engine, mbps float64) *Network {
 	if mbps <= 0 {
 		panic("sim: network bandwidth must be positive")
 	}
-	return &Network{e: e, bytesPerSec: mbps * 1e6 / 8}
+	n := &Network{e: e, bytesPerSec: mbps * 1e6 / 8}
+	n.fireFn = n.fire
+	return n
 }
 
 // Transmit enqueues a message of the given size; done runs when the
@@ -47,25 +51,29 @@ func (n *Network) Transmit(bytes int, done func()) {
 	}
 }
 
+// serveNext schedules completion of the head message. Exactly one network
+// completion event is outstanding at a time (FIFO single server).
 func (n *Network) serveNext() {
+	n.curSvc = float64(n.queue[0].bytes) / n.bytesPerSec
+	n.e.At(n.curSvc, n.fireFn)
+}
+
+func (n *Network) fire() {
 	m := n.queue[0]
-	svc := float64(m.bytes) / n.bytesPerSec
-	n.e.At(svc, func() {
-		n.Msgs++
-		n.Bytes += int64(m.bytes)
-		n.BusyTime += svc
-		copy(n.queue, n.queue[1:])
-		n.queue[len(n.queue)-1] = netMsg{}
-		n.queue = n.queue[:len(n.queue)-1]
-		if len(n.queue) > 0 {
-			n.serveNext()
-		} else {
-			n.busy = false
-		}
-		if m.done != nil {
-			m.done()
-		}
-	})
+	n.Msgs++
+	n.Bytes += int64(m.bytes)
+	n.BusyTime += n.curSvc
+	copy(n.queue, n.queue[1:])
+	n.queue[len(n.queue)-1] = netMsg{}
+	n.queue = n.queue[:len(n.queue)-1]
+	if len(n.queue) > 0 {
+		n.serveNext()
+	} else {
+		n.busy = false
+	}
+	if m.done != nil {
+		m.done()
+	}
 }
 
 // QueueLen returns the number of messages pending or in service.

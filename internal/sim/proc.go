@@ -12,15 +12,19 @@ import "fmt"
 type Proc struct {
 	e      *Engine
 	name   string
-	resume chan struct{}
-	parked bool
-	done   bool
+	resume   chan struct{}
+	runFn    func() // cached p.run closure, reused by every Hold/Unpark
+	unparkFn func() // cached p.Unpark closure for blocking resource calls
+	parked   bool
+	done     bool
 }
 
 // Go spawns a new process executing fn. The process starts at the current
 // virtual time (via a zero-delay event).
 func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	p.runFn = p.run
+	p.unparkFn = p.Unpark
 	e.procs++
 	go func() {
 		<-p.resume // wait for first scheduling
@@ -29,7 +33,7 @@ func (e *Engine) Go(name string, fn func(*Proc)) *Proc {
 		e.procs--
 		e.yield <- struct{}{} // return control to scheduler
 	}()
-	e.At(0, func() { p.run() })
+	e.At(0, p.runFn)
 	return p
 }
 
@@ -62,7 +66,7 @@ func (p *Proc) Now() float64 { return p.e.now }
 
 // Hold advances virtual time by d seconds for this process.
 func (p *Proc) Hold(d float64) {
-	p.e.At(d, func() { p.run() })
+	p.e.At(d, p.runFn)
 	p.block()
 }
 
@@ -83,7 +87,7 @@ func (p *Proc) Unpark() {
 		panic("sim: unpark of non-parked proc " + p.name)
 	}
 	p.parked = false
-	p.e.At(0, func() { p.run() })
+	p.e.At(0, p.runFn)
 }
 
 // Parked reports whether the process is currently parked.
@@ -127,16 +131,33 @@ func (c *Cond) Broadcast() {
 // Len returns the number of waiting processes.
 func (c *Cond) Len() int { return len(c.waiters) }
 
+// initialMailboxCap pre-sizes a mailbox's queue on first send.
+const initialMailboxCap = 16
+
 // Mailbox is an unbounded FIFO message queue that a single consumer
 // process can block on. Multiple producers (events or other processes) may
-// send.
+// send. Dequeues advance a head index instead of shifting, so a busy
+// mailbox settles into a reused backing array.
 type Mailbox[T any] struct {
 	queue  []T
+	head   int
 	waiter *Proc
 }
 
 // Send enqueues a value and wakes the receiver if it is blocked.
 func (m *Mailbox[T]) Send(v T) {
+	if m.queue == nil {
+		m.queue = make([]T, 0, initialMailboxCap)
+	} else if m.head > 0 && len(m.queue) == cap(m.queue) {
+		// Compact consumed slots instead of growing.
+		n := copy(m.queue, m.queue[m.head:])
+		var zero T
+		for i := n; i < len(m.queue); i++ {
+			m.queue[i] = zero
+		}
+		m.queue = m.queue[:n]
+		m.head = 0
+	}
 	m.queue = append(m.queue, v)
 	if m.waiter != nil {
 		w := m.waiter
@@ -145,10 +166,22 @@ func (m *Mailbox[T]) Send(v T) {
 	}
 }
 
+func (m *Mailbox[T]) pop() T {
+	v := m.queue[m.head]
+	var zero T
+	m.queue[m.head] = zero
+	m.head++
+	if m.head == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.head = 0
+	}
+	return v
+}
+
 // Recv blocks the calling process until a value is available, then
 // dequeues and returns it.
 func (m *Mailbox[T]) Recv(p *Proc) T {
-	for len(m.queue) == 0 {
+	for m.Len() == 0 {
 		if m.waiter != nil {
 			panic(fmt.Sprintf("sim: mailbox already has waiter %s", m.waiter.name))
 		}
@@ -156,26 +189,16 @@ func (m *Mailbox[T]) Recv(p *Proc) T {
 		p.parked = true
 		p.block()
 	}
-	v := m.queue[0]
-	copy(m.queue, m.queue[1:])
-	var zero T
-	m.queue[len(m.queue)-1] = zero
-	m.queue = m.queue[:len(m.queue)-1]
-	return v
+	return m.pop()
 }
 
 // TryRecv dequeues a value without blocking; ok is false if empty.
 func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
-	if len(m.queue) == 0 {
+	if m.Len() == 0 {
 		return v, false
 	}
-	v = m.queue[0]
-	copy(m.queue, m.queue[1:])
-	var zero T
-	m.queue[len(m.queue)-1] = zero
-	m.queue = m.queue[:len(m.queue)-1]
-	return v, true
+	return m.pop(), true
 }
 
 // Len returns the number of queued values.
-func (m *Mailbox[T]) Len() int { return len(m.queue) }
+func (m *Mailbox[T]) Len() int { return len(m.queue) - m.head }
