@@ -33,6 +33,10 @@ func main() {
 	pages := flag.Int("pages", 256, "database pages (in-process)")
 	hot := flag.Bool("hot", false, "give each client a private hot region (HOTCOLD-like)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	rto := flag.Duration("request-timeout", 0,
+		"per-request deadline for remote clients (0 = wait forever)")
+	reconnect := flag.Bool("reconnect", false,
+		"redial remote servers with backoff after transport failures")
 	flag.Parse()
 
 	var connect func() (*repro.Client, error)
@@ -60,7 +64,12 @@ func main() {
 		statsFn = cluster.Server().Stats
 		numPages, objsPerPage, _ = cluster.Server().Geometry()
 	} else {
-		connect = func() (*repro.Client, error) { return repro.Dial(*addr) }
+		opts := repro.ClientOptions{RequestTimeout: *rto}
+		if *reconnect {
+			a := *addr
+			opts.Redial = func() (repro.Conn, error) { return repro.DialConn(a) }
+		}
+		connect = func() (*repro.Client, error) { return repro.DialOpts(*addr, opts) }
 		probe, err := connect()
 		if err != nil {
 			fatal(err)

@@ -4,9 +4,25 @@
 //
 //	oodbserver -dir /var/lib/oodb -addr :7090 -proto PS-AA -pages 1250
 //
-// Clients connect with repro.Dial (or cmd/oodbbench). The database is
-// created on first start and recovered from the write-ahead log on every
-// start.
+// Flags:
+//
+//	-dir               database directory (created on first start; recovered
+//	                   from the write-ahead log on every start)
+//	-addr              TCP listen address
+//	-proto             cache-consistency protocol: PS | OS | PS-OO | PS-OA | PS-AA
+//	-pages, -objs,     database geometry, honored at creation only; an
+//	-pagesize          existing database keeps its on-disk geometry
+//	-nosync            do not fsync the WAL per commit (faster, unsafe:
+//	                   acknowledged commits may be lost on a crash)
+//	-callback-timeout  depose clients that leave a cache-consistency
+//	                   callback unanswered for this long (0 disables);
+//	                   bounds how long one silent client can stall writers
+//
+// Clients connect with repro.Dial (or cmd/oodbbench).
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting,
+// detaches clients, flushes the store, and truncates the WAL, then prints
+// protocol statistics. A second signal forces immediate exit.
 package main
 
 import (
@@ -28,6 +44,8 @@ func main() {
 	objsPerPage := flag.Int("objs", 20, "objects per page (creation only)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes (creation only)")
 	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
+	cbTimeout := flag.Duration("callback-timeout", 0,
+		"depose clients with callbacks unanswered this long (0 = wait forever)")
 	flag.Parse()
 
 	p, ok := core.ParseProtocol(*proto)
@@ -36,7 +54,7 @@ func main() {
 	}
 	srv, err := live.OpenServer(*dir, live.ServerOptions{
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
-		SyncWAL: !*noSync,
+		SyncWAL: !*noSync, CallbackTimeout: *cbTimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -45,21 +63,34 @@ func main() {
 	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each)\n",
 		p, *addr, np, opp, osz)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("\noodbserver: shutting down")
-		st := srv.Stats()
-		fmt.Printf("stats: reads=%d writes=%d commits=%d aborts=%d callbacks=%d deadlocks=%d\n",
-			st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Callbacks, st.Deadlocks)
-		srv.Close()
-		os.Exit(0)
+		fmt.Println("\noodbserver: shutting down (signal again to force)")
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "oodbserver: forced exit")
+			os.Exit(1)
+		}()
+		// Close stops the listener; ListenAndServe below returns nil and
+		// main finishes the orderly path (stats, exit 0).
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "oodbserver: shutdown:", err)
+		}
 	}()
 
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fatal(err)
 	}
+	// Graceful path: listener closed by the signal handler, all sessions
+	// drained, store flushed, WAL truncated. Report and leave.
+	st := srv.Stats()
+	fmt.Printf("stats: reads=%d writes=%d commits=%d aborts=%d callbacks=%d deadlocks=%d\n",
+		st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Callbacks, st.Deadlocks)
+	// Close is idempotent; this is a no-op when the handler already ran it,
+	// but covers future return paths out of ListenAndServe.
+	srv.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,159 @@
+// Package fault provides deterministic fault injection for the live
+// system: a process-wide registry of named crash points that code under
+// test traverses (zero-cost when disarmed), and a connection wrapper that
+// injects seeded latency, kills, and partitions at the transport layer.
+//
+// Crash points model fail-stop process death at a precise instruction
+// boundary ("between the WAL write and the fsync"). Production code marks
+// the boundary with a registered *CrashPoint and calls Check on it; tests
+// arm a point to fire on its k-th traversal, either by returning an
+// injected *Crash error (which the live server turns into a simulated
+// fail-stop) or by panicking.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash is the injected failure delivered when an armed crash point
+// fires. It implements error; panic-mode points panic with a *Crash.
+type Crash struct {
+	Point string // crash point name
+	Hit   int64  // traversal count at which it fired (1-based)
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("fault: injected crash at %q (hit %d)", c.Point, c.Hit)
+}
+
+// IsCrash reports whether err is (or wraps) an injected crash.
+func IsCrash(err error) bool {
+	var c *Crash
+	return errorsAs(err, &c)
+}
+
+// errorsAs is errors.As without the reflection-heavy general case: the
+// only chains we build are *Crash and fmt.Errorf wrappers.
+func errorsAs(err error, target **Crash) bool {
+	for err != nil {
+		if c, ok := err.(*Crash); ok {
+			*target = c
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// arming is one Arm call's state; swapping the whole struct keeps Check
+// race-free without locks.
+type arming struct {
+	k      int64 // fire on the k-th traversal (1-based)
+	panics bool
+	count  atomic.Int64
+}
+
+// CrashPoint is one named crash site. The zero of cost when disarmed is a
+// single atomic pointer load.
+type CrashPoint struct {
+	name string
+	arm  atomic.Pointer[arming]
+}
+
+// Name returns the point's registered name.
+func (p *CrashPoint) Name() string { return p.name }
+
+// Arm makes the point return a *Crash error on its k-th traversal
+// (1-based) after this call. Re-arming resets the traversal count.
+func (p *CrashPoint) Arm(k int64) {
+	if k < 1 {
+		k = 1
+	}
+	p.arm.Store(&arming{k: k})
+}
+
+// ArmPanic is Arm, but the point panics with a *Crash instead of
+// returning it — for call sites that cannot propagate errors.
+func (p *CrashPoint) ArmPanic(k int64) {
+	if k < 1 {
+		k = 1
+	}
+	p.arm.Store(&arming{k: k, panics: true})
+}
+
+// Disarm deactivates the point.
+func (p *CrashPoint) Disarm() { p.arm.Store(nil) }
+
+// Check is called by production code at the crash site. Disarmed (the
+// normal state) it is a nil pointer load. Armed, it counts the traversal
+// and fires on exactly the k-th one.
+func (p *CrashPoint) Check() error {
+	a := p.arm.Load()
+	if a == nil {
+		return nil
+	}
+	if a.count.Add(1) != a.k {
+		return nil
+	}
+	c := &Crash{Point: p.name, Hit: a.k}
+	if a.panics {
+		panic(c)
+	}
+	return c
+}
+
+var (
+	regMu  sync.Mutex
+	points = map[string]*CrashPoint{}
+)
+
+// Register returns the crash point named name, creating it on first use.
+// Registration is idempotent; typical use is a package-level var.
+func Register(name string) *CrashPoint {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := points[name]; ok {
+		return p
+	}
+	p := &CrashPoint{name: name}
+	points[name] = p
+	return p
+}
+
+// Get returns the registered point or nil.
+func Get(name string) *CrashPoint {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return points[name]
+}
+
+// Points returns all registered crash point names, sorted — the fuzzer's
+// enumeration surface.
+func Points() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(points))
+	for n := range points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DisarmAll deactivates every registered point (test cleanup, and
+// mandatory before re-opening a database after an injected crash: recovery
+// traverses the same sites).
+func DisarmAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range points {
+		p.arm.Store(nil)
+	}
+}

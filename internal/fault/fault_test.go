@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestCrashPointFiresOnKthHit(t *testing.T) {
+	p := Register("test.kth-hit")
+	defer p.Disarm()
+	p.Arm(3)
+	for i := 1; i <= 5; i++ {
+		err := p.Check()
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+		if i == 3 {
+			var c *Crash
+			if !errors.As(err, &c) || c.Point != "test.kth-hit" || c.Hit != 3 {
+				t.Fatalf("crash payload %+v", err)
+			}
+			if !IsCrash(err) {
+				t.Fatal("IsCrash false for a *Crash")
+			}
+		}
+	}
+}
+
+func TestCrashPointDisarmedIsSilent(t *testing.T) {
+	p := Register("test.disarmed")
+	for i := 0; i < 100; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("disarmed point fired: %v", err)
+		}
+	}
+}
+
+func TestCrashPointPanicMode(t *testing.T) {
+	p := Register("test.panic")
+	defer p.Disarm()
+	p.ArmPanic(1)
+	defer func() {
+		r := recover()
+		if _, ok := r.(*Crash); !ok {
+			t.Fatalf("recovered %v, want *Crash", r)
+		}
+	}()
+	p.Check()
+	t.Fatal("armed panic point did not panic")
+}
+
+func TestRegistryEnumerationAndDisarmAll(t *testing.T) {
+	a := Register("test.enum-a")
+	b := Register("test.enum-b")
+	if Register("test.enum-a") != a {
+		t.Fatal("Register not idempotent")
+	}
+	if Get("test.enum-b") != b {
+		t.Fatal("Get missed a registered point")
+	}
+	seen := map[string]bool{}
+	for _, n := range Points() {
+		seen[n] = true
+	}
+	if !seen["test.enum-a"] || !seen["test.enum-b"] {
+		t.Fatalf("Points() missing entries: %v", Points())
+	}
+	a.Arm(1)
+	b.Arm(1)
+	DisarmAll()
+	if a.Check() != nil || b.Check() != nil {
+		t.Fatal("DisarmAll left a point armed")
+	}
+}
+
+func TestIsCrashWrapped(t *testing.T) {
+	if IsCrash(errors.New("plain")) {
+		t.Fatal("plain error reported as crash")
+	}
+	p := Register("test.wrap")
+	defer p.Disarm()
+	p.Arm(1)
+	err := p.Check()
+	if !IsCrash(wrapErr{err}) {
+		t.Fatal("wrapped crash not detected")
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w wrapErr) Unwrap() error { return w.inner }
+
+// pipeConn is a minimal in-memory Conn for exercising FaultConn.
+type pipeConn struct {
+	in, out chan *core.Msg
+	once    *sync.Once
+	done    chan struct{}
+}
+
+func pipePair() (*pipeConn, *pipeConn) {
+	a2b := make(chan *core.Msg, 64)
+	b2a := make(chan *core.Msg, 64)
+	done := make(chan struct{})
+	once := new(sync.Once)
+	return &pipeConn{in: b2a, out: a2b, once: once, done: done},
+		&pipeConn{in: a2b, out: b2a, once: once, done: done}
+}
+
+func (c *pipeConn) Send(m *core.Msg) error {
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.done:
+		return errors.New("closed")
+	}
+}
+
+func (c *pipeConn) Recv() (*core.Msg, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		return nil, errors.New("closed")
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+func TestFaultConnKillAfterSends(t *testing.T) {
+	a, b := pipePair()
+	fc := WrapConn(a, ConnPlan{KillAfterSends: 3})
+	for i := 0; i < 2; i++ {
+		if err := fc.Send(&core.Msg{}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fc.Send(&core.Msg{}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("3rd send err = %v, want ErrKilled", err)
+	}
+	if !fc.Killed() {
+		t.Fatal("conn not marked killed")
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal("pre-kill message lost")
+	}
+	// The peer sees closure.
+	if _, err := b.Recv(); err == nil {
+		if _, err := b.Recv(); err == nil {
+			t.Fatal("peer still receiving after kill")
+		}
+	}
+}
+
+func TestFaultConnByteBudget(t *testing.T) {
+	a, _ := pipePair()
+	fc := WrapConn(a, ConnPlan{KillAfterBytes: 100})
+	if err := fc.Send(&core.Msg{Data: make([]byte, 90)}); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := fc.Send(&core.Msg{Data: make([]byte, 90)}); !errors.Is(err, ErrKilled) {
+		t.Fatalf("over budget err = %v, want ErrKilled", err)
+	}
+}
+
+func TestFaultConnPartitionDropsBothWays(t *testing.T) {
+	a, b := pipePair()
+	fc := WrapConn(a, ConnPlan{})
+	fc.Partition(true)
+	if err := fc.Send(&core.Msg{Req: 1}); err != nil {
+		t.Fatalf("partitioned send errored: %v", err)
+	}
+	select {
+	case <-b.in:
+		t.Fatal("partitioned message delivered")
+	default:
+	}
+	// Inbound messages are eaten too: Recv must not return the message
+	// sent while partitioned, but must return one sent after healing.
+	b.Send(&core.Msg{Req: 2})
+	got := make(chan *core.Msg, 1)
+	go func() {
+		m, err := fc.Recv()
+		if err == nil {
+			got <- m
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fc.Partition(false)
+	b.Send(&core.Msg{Req: 3})
+	select {
+	case m := <-got:
+		if m.Req != 3 {
+			t.Fatalf("received Req=%d, want 3 (the post-heal message)", m.Req)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healed conn never delivered")
+	}
+}
+
+func TestFaultConnLatencyDelays(t *testing.T) {
+	a, _ := pipePair()
+	fc := WrapConn(a, ConnPlan{Seed: 7, SendLatency: Latency{Base: 20 * time.Millisecond}})
+	start := time.Now()
+	if err := fc.Send(&core.Msg{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("send took %v, want >= ~20ms", d)
+	}
+}
+
+func TestFaultConnSeededKillDeterministic(t *testing.T) {
+	run := func() int {
+		a, _ := pipePair()
+		fc := WrapConn(a, ConnPlan{Seed: 42, KillProb: 0.05})
+		n := 0
+		for i := 0; i < 10000; i++ {
+			if err := fc.Send(&core.Msg{}); err != nil {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	n1, n2 := run(), run()
+	if n1 != n2 {
+		t.Fatalf("same seed, different kill points: %d vs %d", n1, n2)
+	}
+	if n1 == 10000 {
+		t.Fatal("KillProb=0.05 never killed in 10k messages")
+	}
+}

@@ -16,6 +16,19 @@ var ErrAborted = errors.New("live: transaction aborted (deadlock victim)")
 // ErrClosed is returned after the connection is gone.
 var ErrClosed = errors.New("live: client closed")
 
+// ErrTimeout is returned when a request exceeds the client's
+// RequestTimeout. The connection is torn down (the reply may still be in
+// flight, so the session's state is no longer trustworthy); with a Redial
+// policy the client reconnects as a fresh session. A timed-out Commit has
+// an UNKNOWN outcome: it may or may not have become durable.
+var ErrTimeout = errors.New("live: request deadline exceeded")
+
+// ErrDisconnected is returned for operations whose transaction was
+// aborted locally because the connection to the server was lost. Like
+// ErrTimeout, a Commit outcome is unknown. The client itself stays usable
+// if a Redial policy is configured.
+var ErrDisconnected = errors.New("live: connection lost; transaction aborted locally")
+
 // Client is a live Client DBMS process: it caches pages (or objects under
 // OS), holds the protocol state machine, answers callbacks concurrently
 // with the running transaction, and exposes a transactional API.
@@ -26,22 +39,27 @@ type Client struct {
 	conn  Conn
 	id    core.ClientID
 	proto core.Protocol
+	opts  ClientOptions
 
 	numPages    int
 	objsPerPage int
 	objSize     int
+	cacheCap    int  // protocol-units cache capacity (survives reconnects)
 	variable    bool // variable-size objects (OS protocol + VStore server)
 
-	mu       sync.Mutex
-	cs       *core.ClientState
-	pageData map[core.PageID][]byte
-	objData  map[core.ObjID][]byte
-	pending  map[int64]*pendingReq
-	nextReq  int64
-	lastTxn  core.TxnID
-	txn      *Txn
-	closed   bool
-	recvErr  error
+	mu           sync.Mutex
+	cond         *sync.Cond // signals reconnect completion / closure
+	cs           *core.ClientState
+	pageData     map[core.PageID][]byte
+	objData      map[core.ObjID][]byte
+	pending      map[int64]*pendingReq
+	nextReq      int64
+	lastTxn      core.TxnID
+	txn          *Txn
+	closed       bool
+	reconnecting bool
+	recvErr      error
+	closeCh      chan struct{}
 }
 
 // pendingReq is one outstanding request. The receive loop runs apply under
@@ -60,6 +78,7 @@ const (
 	reqOK reqOutcome = iota
 	reqAborted
 	reqClosed
+	reqDisconnected
 )
 
 // ClientOptions tunes a client.
@@ -67,21 +86,35 @@ type ClientOptions struct {
 	// CachePages is the cache capacity in pages (objects x fan-out under
 	// OS). Default: 25% of the database, as in the paper.
 	CachePages int
+
+	// RequestTimeout bounds each Read/Write/Commit round trip (and the
+	// connection handshake). On expiry the operation returns ErrTimeout
+	// and the connection is torn down — a stalled or partitioned server
+	// can no longer hang the caller. 0 disables deadlines.
+	RequestTimeout time.Duration
+
+	// Redial, when set, enables automatic reconnection: after a transport
+	// error the client aborts the in-flight transaction locally, re-dials
+	// with capped exponential backoff + jitter, and re-registers as a
+	// fresh session with a cold cache. Begin blocks while a reconnect is
+	// in progress.
+	Redial func() (Conn, error)
+
+	// Retry shapes the reconnect backoff (zero value: defaults).
+	Retry RetryPolicy
 }
 
 // Connect performs the handshake over conn and returns a ready client.
 func Connect(conn Conn, opts ClientOptions) (*Client, error) {
-	hello, err := conn.Recv()
+	hello, err := recvHello(conn, opts.RequestTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("live: handshake: %w", err)
-	}
-	if hello.Kind != core.MHello {
-		return nil, fmt.Errorf("live: handshake: unexpected %v", hello.Kind)
 	}
 	c := &Client{
 		conn:        conn,
 		id:          hello.HelloID,
 		proto:       hello.HelloProto,
+		opts:        opts,
 		numPages:    int(hello.HelloPages),
 		objsPerPage: int(hello.HelloObjsPP),
 		objSize:     int(hello.HelloObjSize),
@@ -89,7 +122,9 @@ func Connect(conn Conn, opts ClientOptions) (*Client, error) {
 		pageData:    make(map[core.PageID][]byte),
 		objData:     make(map[core.ObjID][]byte),
 		pending:     make(map[int64]*pendingReq),
+		closeCh:     make(chan struct{}),
 	}
+	c.cond = sync.NewCond(&c.mu)
 	cap := opts.CachePages
 	if cap <= 0 {
 		cap = c.numPages / 4
@@ -97,9 +132,45 @@ func Connect(conn Conn, opts ClientOptions) (*Client, error) {
 	if c.proto == core.OS {
 		cap *= c.objsPerPage
 	}
+	c.cacheCap = cap
 	c.cs = core.NewClientState(c.id, c.proto, cap)
 	go c.recvLoop()
 	return c, nil
+}
+
+// recvHello waits for the server's hello, bounded by timeout (0: forever).
+func recvHello(conn Conn, timeout time.Duration) (*core.Msg, error) {
+	var hello *core.Msg
+	var err error
+	if timeout <= 0 {
+		hello, err = conn.Recv()
+	} else {
+		type result struct {
+			m   *core.Msg
+			err error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			m, e := conn.Recv()
+			ch <- result{m, e}
+		}()
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case r := <-ch:
+			hello, err = r.m, r.err
+		case <-t.C:
+			conn.Close()
+			return nil, ErrTimeout
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if hello.Kind != core.MHello {
+		return nil, fmt.Errorf("unexpected %v", hello.Kind)
+	}
+	return hello, nil
 }
 
 // ID returns the server-assigned client id.
@@ -117,9 +188,13 @@ func (c *Client) Geometry() (int, int) { return c.numPages, c.objsPerPage }
 // Close tears down the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	conn := c.conn
+	if !c.closed {
+		close(c.closeCh)
+	}
 	c.failPending()
 	c.mu.Unlock()
-	return c.conn.Close()
+	return conn.Close()
 }
 
 // failPending marks the client closed and releases all waiters (mu held).
@@ -129,6 +204,7 @@ func (c *Client) failPending() {
 		pr.done <- reqClosed
 	}
 	c.pending = map[int64]*pendingReq{}
+	c.cond.Broadcast()
 }
 
 // recvLoop dispatches server messages: callbacks and de-escalations are
@@ -136,14 +212,18 @@ func (c *Client) failPending() {
 // replies are applied in arrival order under the client lock, so that a
 // later callback or de-escalation request always observes the effects of
 // the grants that preceded it on the wire.
+//
+// On a transport error the loop either fails the client permanently or —
+// with a Redial policy — reconnects and carries on with the new session.
 func (c *Client) recvLoop() {
+	conn := c.conn
 	for {
-		m, err := c.conn.Recv()
+		m, err := conn.Recv()
 		if err != nil {
-			c.mu.Lock()
-			c.recvErr = err
-			c.failPending()
-			c.mu.Unlock()
+			if nc := c.reconnect(err); nc != nil {
+				conn = nc
+				continue
+			}
 			return
 		}
 		c.mu.Lock()
@@ -185,6 +265,82 @@ func (c *Client) recvLoop() {
 	}
 }
 
+// reconnect handles a transport error from conn: without a Redial policy
+// it fails the client permanently; with one it aborts the in-flight
+// transaction locally, then re-dials with capped exponential backoff and
+// jitter until it re-registers as a fresh session (cold cache, new client
+// id). It returns the new connection, or nil if the client is done.
+func (c *Client) reconnect(cause error) Conn {
+	c.mu.Lock()
+	if c.closed || c.opts.Redial == nil {
+		c.recvErr = cause
+		c.failPending()
+		c.mu.Unlock()
+		return nil
+	}
+	c.reconnecting = true
+	// Abort the in-flight transaction locally: the server will abort its
+	// half when it notices the dead session, and our session state is
+	// unusable anyway.
+	if c.txn != nil {
+		c.txn.done = true
+		c.txn.failed = ErrDisconnected
+		c.txn = nil
+	}
+	for _, pr := range c.pending {
+		pr.done <- reqDisconnected
+	}
+	c.pending = map[int64]*pendingReq{}
+	old := c.conn
+	c.mu.Unlock()
+	old.Close()
+
+	policy := c.opts.Retry.withDefaults()
+	delay := policy.BaseDelay
+	for attempt := 1; policy.MaxAttempts <= 0 || attempt <= policy.MaxAttempts; attempt++ {
+		t := time.NewTimer(policy.jittered(delay))
+		select {
+		case <-c.closeCh:
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+		if delay *= 2; delay > policy.MaxDelay {
+			delay = policy.MaxDelay
+		}
+		conn, err := c.opts.Redial()
+		if err != nil {
+			continue
+		}
+		hello, err := recvHello(conn, c.opts.RequestTimeout)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		// Fresh session: new id, cold cache, clean protocol state.
+		c.conn = conn
+		c.id = hello.HelloID
+		c.cs = core.NewClientState(c.id, c.proto, c.cacheCap)
+		c.pageData = make(map[core.PageID][]byte)
+		c.objData = make(map[core.ObjID][]byte)
+		c.reconnecting = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return conn
+	}
+	c.mu.Lock()
+	c.recvErr = cause
+	c.failPending()
+	c.mu.Unlock()
+	return nil
+}
+
 // send transmits a message with drop notices attached. Callers hold c.mu,
 // which also serializes the wire order with the state mutations that
 // produced the message.
@@ -213,6 +369,9 @@ func (c *Client) cleanupPage(p core.PageID) {
 func (c *Client) Begin() (*Txn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for c.reconnecting && !c.closed {
+		c.cond.Wait()
+	}
 	if c.closed {
 		return nil, ErrClosed
 	}
@@ -236,13 +395,18 @@ func (c *Client) Begin() (*Txn, error) {
 // Txn is one transaction's handle. Its methods must be called from a
 // single goroutine.
 type Txn struct {
-	c    *Client
-	done bool
+	c      *Client
+	done   bool
+	failed error // terminal error (disconnect/timeout) to surface on reuse
 }
 
 // roundTrip sends m and waits for its reply; apply runs under c.mu in the
 // receive loop the moment the reply arrives. The caller must hold c.mu;
 // the lock is released while waiting and reacquired before returning.
+//
+// With a RequestTimeout configured the wait is bounded: on expiry the
+// connection is torn down (triggering reconnect, if configured) and the
+// caller gets ErrTimeout once the teardown has released the waiter.
 func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
 	if c.closed {
 		return ErrClosed
@@ -253,20 +417,44 @@ func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
 	m.From = c.id
 	pr := &pendingReq{apply: apply, done: make(chan reqOutcome, 1)}
 	c.pending[m.Req] = pr
+	conn := c.conn
 	c.send(m)
 	c.mu.Unlock()
-	out := <-pr.done
+	var out reqOutcome
+	timedOut := false
+	if c.opts.RequestTimeout > 0 {
+		t := time.NewTimer(c.opts.RequestTimeout)
+		select {
+		case out = <-pr.done:
+			t.Stop()
+		case <-t.C:
+			// Kill the (stalled) connection; the recv loop notices and
+			// fails or replaces the session, releasing every waiter.
+			timedOut = true
+			conn.Close()
+			out = <-pr.done
+		}
+	} else {
+		out = <-pr.done
+	}
 	c.mu.Lock()
-	switch out {
-	case reqAborted:
+	switch {
+	case timedOut:
+		return ErrTimeout
+	case out == reqAborted:
 		return ErrAborted
-	case reqClosed:
+	case out == reqClosed:
 		return ErrClosed
+	case out == reqDisconnected:
+		return ErrDisconnected
 	}
 	return nil
 }
 
 func (t *Txn) check() error {
+	if t.failed != nil {
+		return t.failed
+	}
 	if t.done {
 		return errors.New("live: transaction finished")
 	}
@@ -276,10 +464,14 @@ func (t *Txn) check() error {
 	return nil
 }
 
-// finishIfAborted marks the transaction done on an abort outcome.
+// finishIfAborted marks the transaction done on a terminal outcome.
 func (t *Txn) finishIfAborted(err error) error {
-	if errors.Is(err, ErrAborted) || errors.Is(err, ErrClosed) {
+	switch {
+	case errors.Is(err, ErrAborted) || errors.Is(err, ErrClosed):
 		t.done = true
+	case errors.Is(err, ErrTimeout) || errors.Is(err, ErrDisconnected):
+		t.done = true
+		t.failed = err
 	}
 	return err
 }

@@ -551,7 +551,7 @@ func TestServerStatsExposed(t *testing.T) {
 func TestWALTornTailIgnored(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "wal.log")
-	w, err := OpenWAL(path)
+	w, _, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,16 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
+
+// cpCheckpointMid crashes between the store flush and the log truncation —
+// the checkpoint's ordering hazard. Recovery must replay the (now
+// redundant) log idempotently.
+var cpCheckpointMid = fault.Register("checkpoint.mid")
 
 // ServerOptions configures a live server.
 type ServerOptions struct {
@@ -24,6 +31,11 @@ type ServerOptions struct {
 	// fixed slots. Requires the OS protocol (object transfer), since
 	// clients no longer interpret raw page images.
 	VariableObjects bool
+	// CallbackTimeout bounds how long a client may sit on an outstanding
+	// callback (including the deferred ack after a busy reply) before the
+	// server declares it dead and disconnects it, so one silent client
+	// cannot stall every writer of a page. 0 disables the deadline.
+	CallbackTimeout time.Duration
 }
 
 // objectStore abstracts the fixed-slot Store and the variable-size VStore.
@@ -33,6 +45,7 @@ type objectStore interface {
 	WriteObj(o core.ObjID, data []byte) error
 	Flush() error
 	Close() error
+	closeRaw() error
 	NumPages() int
 	ObjsPerPage() int
 	ObjSize() int
@@ -63,6 +76,11 @@ type Server struct {
 	sessions map[core.ClientID]*session
 	nextID   core.ClientID
 	closed   bool
+	failed   error // injected crash that fail-stopped the server
+
+	// Callback-deadline watchdog (nil when CallbackTimeout == 0).
+	watchStop chan struct{}
+	watchDone chan struct{}
 
 	wg sync.WaitGroup
 
@@ -78,6 +96,11 @@ type session struct {
 	id   core.ClientID
 	conn Conn
 
+	// cbDue maps an outstanding callback round id to its answer deadline.
+	// Guarded by the server mutex (route arms it, handle clears it, the
+	// watchdog scans it — all under Server.mu).
+	cbDue map[int64]time.Time
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	outbox []core.Msg
@@ -85,7 +108,7 @@ type session struct {
 }
 
 func newSession(id core.ClientID, conn Conn) *session {
-	s := &session{id: id, conn: conn}
+	s := &session{id: id, conn: conn, cbDue: make(map[int64]time.Time)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -166,15 +189,17 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		opts.NumPages = store.NumPages()
 	}
 
-	// Redo recovery: replay committed afterimages, then truncate the log.
-	if _, err := Recover(store, walPath); err != nil {
-		store.Close()
-		return nil, fmt.Errorf("live: recovery failed: %w", err)
-	}
-	wal, err := OpenWAL(walPath)
+	// Redo recovery: one scan finds the append offset and yields the
+	// records to replay; the flushed store then makes the log redundant.
+	wal, recs, err := OpenWAL(walPath)
 	if err != nil {
 		store.Close()
 		return nil, err
+	}
+	if _, err := replayRecords(store, recs); err != nil {
+		store.Close()
+		wal.Close()
+		return nil, fmt.Errorf("live: recovery failed: %w", err)
 	}
 	if err := wal.Truncate(); err != nil {
 		store.Close()
@@ -184,14 +209,70 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 	wal.SyncOnCommit = opts.SyncWAL
 
 	layout := core.NewLayout(opts.NumPages, opts.ObjsPerPage)
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		layout:   layout,
 		eng:      core.NewServerEngine(opts.Proto, layout),
 		store:    store,
 		wal:      wal,
 		sessions: make(map[core.ClientID]*session),
-	}, nil
+	}
+	if opts.CallbackTimeout > 0 {
+		s.watchStop = make(chan struct{})
+		s.watchDone = make(chan struct{})
+		go s.watchdog()
+	}
+	return s, nil
+}
+
+// watchdog periodically sweeps sessions for overdue callback answers and
+// disconnects the offenders through the normal departure path (their
+// callbacks are self-answered, copies dropped, transactions aborted).
+func (s *Server) watchdog() {
+	defer close(s.watchDone)
+	interval := s.opts.CallbackTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var dead []core.ClientID
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		for id, sess := range s.sessions {
+			for _, due := range sess.cbDue {
+				if now.After(due) {
+					dead = append(dead, id)
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		for _, id := range dead {
+			s.detach(id)
+		}
+	}
+}
+
+// stopWatchdogLocked signals the watchdog; the caller holds s.mu.
+func (s *Server) stopWatchdogLocked() {
+	if s.watchStop != nil {
+		select {
+		case <-s.watchStop:
+		default:
+			close(s.watchStop)
+		}
+	}
 }
 
 // Proto returns the server's protocol.
@@ -200,6 +281,13 @@ func (s *Server) Proto() core.Protocol { return s.opts.Proto }
 // Geometry returns (numPages, objsPerPage, objSize).
 func (s *Server) Geometry() (int, int, int) {
 	return s.store.NumPages(), s.store.ObjsPerPage(), s.store.ObjSize()
+}
+
+// Sessions returns the number of attached client sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 // Stats returns a snapshot of the protocol engine statistics.
@@ -248,6 +336,9 @@ func (s *Server) detach(id core.ClientID) {
 	s.route(s.eng.Disconnect(id))
 	s.mu.Unlock()
 	sess.close()
+	// Watchdog-initiated detaches must also unblock the serve goroutine,
+	// which is parked in conn.Recv.
+	sess.conn.Close()
 }
 
 // serve pumps one session's incoming messages through the engine.
@@ -272,6 +363,19 @@ func (s *Server) handle(m *core.Msg) {
 		s.mu.Unlock()
 		return
 	}
+	// Callback-deadline bookkeeping: any ack proves the client is alive.
+	// A busy reply defers the real answer to the transaction's end, so it
+	// renews the lease rather than clearing it.
+	if m.Kind == core.MCallbackAck && s.opts.CallbackTimeout > 0 {
+		if sess := s.sessions[m.From]; sess != nil {
+			if m.Busy {
+				sess.cbDue[m.Req] = time.Now().Add(s.opts.CallbackTimeout)
+			} else {
+				delete(sess.cbDue, m.Req)
+			}
+		}
+	}
+
 	// Commit: log afterimages before the engine acks, then install.
 	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
 		rec := &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
@@ -280,7 +384,15 @@ func (s *Server) handle(m *core.Msg) {
 			rec.Images = append(rec.Images, m.Updates[o])
 		}
 		if err := s.wal.Append(rec); err != nil {
-			// Log failure: crash loudly rather than ack an undurable commit.
+			if fault.IsCrash(err) {
+				// Injected fail-stop: die before acking the undurable
+				// commit; the client sees its connection drop instead.
+				s.crashLocked(err)
+				s.mu.Unlock()
+				return
+			}
+			// Real log failure: crash loudly rather than ack an undurable
+			// commit.
 			panic(fmt.Sprintf("live: WAL append failed: %v", err))
 		}
 		for i, o := range rec.Objs {
@@ -317,6 +429,10 @@ func (s *Server) route(outs []core.Msg) {
 				panic(fmt.Sprintf("live: object read failed: %v", err))
 			}
 			om.Data = data
+		case core.MCallback:
+			if s.opts.CallbackTimeout > 0 {
+				sess.cbDue[om.Req] = time.Now().Add(s.opts.CallbackTimeout)
+			}
 		}
 		sess.enqueue(om)
 	}
@@ -376,14 +492,84 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Checkpoint flushes the store and truncates the log.
+// Checkpoint flushes the store and truncates the log. The order is the
+// crash-safety invariant: the log may only be truncated once every update
+// it covers is durably in the store. A crash anywhere inside (exercised by
+// the store.flush.* and checkpoint.mid crash points) leaves the log
+// intact, and replaying it is idempotent.
 func (s *Server) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		if s.failed != nil {
+			return s.failed
+		}
+		return fmt.Errorf("live: server closed")
+	}
 	if err := s.store.Flush(); err != nil {
+		if fault.IsCrash(err) {
+			s.crashLocked(err)
+		}
 		return err
 	}
-	return s.wal.Truncate()
+	if err := cpCheckpointMid.Check(); err != nil {
+		s.crashLocked(err)
+		return err
+	}
+	if err := s.wal.Truncate(); err != nil {
+		if fault.IsCrash(err) {
+			s.crashLocked(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// crashLocked fail-stops the server as an injected crash dictates: every
+// session drops, nothing is flushed, and WAL bytes that were never fsynced
+// are discarded (they lived in the dying machine's page cache). The data
+// directory is left exactly as a real crash would, ready for recovery by a
+// fresh OpenServer. Caller holds s.mu.
+func (s *Server) crashLocked(cause error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.failed = cause
+	s.stopWatchdogLocked()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, sess := range s.sessions {
+		sess.close()
+		sess.conn.Close()
+	}
+	s.sessions = map[core.ClientID]*session{}
+	s.wal.crash()
+	s.store.closeRaw()
+}
+
+// Crash simulates fail-stop process death (for tests and the recovery
+// fuzzer): connections drop and the in-memory store dies without a flush.
+// Idempotent; returns the injected crash that already stopped the server,
+// if any.
+func (s *Server) Crash() error {
+	s.mu.Lock()
+	failed := s.failed
+	s.crashLocked(errors.New("live: server crashed (simulated)"))
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.watchDone != nil {
+		<-s.watchDone
+	}
+	return failed
+}
+
+// Failed returns the injected crash that fail-stopped the server, or nil.
+func (s *Server) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
 }
 
 // Close shuts the server down: sessions are closed, the store is flushed
@@ -395,6 +581,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.stopWatchdogLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -406,6 +593,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	s.wg.Wait()
+	if s.watchDone != nil {
+		<-s.watchDone
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -15,10 +15,19 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // storeMagic identifies a store file.
 const storeMagic = 0x0DB5_94AA
+
+// Crash points on the store's flush path (see internal/fault): a crash
+// with some pages written, and a crash after all writes but before the
+// fsync. Both leave the WAL un-truncated, so replay must repair them.
+var (
+	cpFlushPartial = fault.Register("store.flush.partial")
+	cpFlushPreSync = fault.Register("store.flush.pre-sync")
+)
 
 // Store is a fixed-page database file: a header page followed by DBPages
 // pages of PageSize bytes, each page carrying ObjsPerPage fixed-size
@@ -200,9 +209,15 @@ func (s *Store) WritePage(p core.PageID, data []byte) error {
 // Flush writes all dirty pages (with checksums) to the file and syncs.
 func (s *Store) Flush() error {
 	buf := make([]byte, s.pageSize)
+	wrote := false
 	for p := 0; p < s.numPages; p++ {
 		if !s.dirty[p] {
 			continue
+		}
+		if wrote {
+			if err := cpFlushPartial.Check(); err != nil {
+				return err
+			}
 		}
 		copy(buf, s.frames[p])
 		binary.LittleEndian.PutUint32(buf[s.payload():], crc32.ChecksumIEEE(s.frames[p]))
@@ -210,6 +225,10 @@ func (s *Store) Flush() error {
 			return err
 		}
 		s.dirty[p] = false
+		wrote = true
+	}
+	if err := cpFlushPreSync.Check(); err != nil {
+		return err
 	}
 	return s.f.Sync()
 }
@@ -222,5 +241,10 @@ func (s *Store) Close() error {
 	}
 	return s.f.Close()
 }
+
+// closeRaw closes the file without flushing — a dying process's view: the
+// in-memory frame table is lost, disk keeps whatever the last completed
+// flush (plus any partial one) left there.
+func (s *Store) closeRaw() error { return s.f.Close() }
 
 var _ io.Closer = (*Store)(nil)

@@ -445,15 +445,22 @@ func (s *VStore) freeSlotIn(p int) int {
 // OverflowPages returns the current overflow region size (diagnostics).
 func (s *VStore) OverflowPages() int { return len(s.frames) - s.numPages }
 
-// Flush writes dirty pages with checksums and syncs.
+// Flush writes dirty pages with checksums and syncs. It traverses the
+// same crash points as Store.Flush (see internal/fault).
 func (s *VStore) Flush() error {
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
 	buf := make([]byte, s.pageSize)
+	wrote := false
 	for p := range s.frames {
 		if !s.dirty[p] {
 			continue
+		}
+		if wrote {
+			if err := cpFlushPartial.Check(); err != nil {
+				return err
+			}
 		}
 		copy(buf, s.frames[p])
 		binary.LittleEndian.PutUint32(buf[s.payload():], crc32.ChecksumIEEE(s.frames[p]))
@@ -461,6 +468,10 @@ func (s *VStore) Flush() error {
 			return err
 		}
 		s.dirty[p] = false
+		wrote = true
+	}
+	if err := cpFlushPreSync.Check(); err != nil {
+		return err
 	}
 	return s.f.Sync()
 }
@@ -502,3 +513,6 @@ func (s *VStore) Close() error {
 	}
 	return s.f.Close()
 }
+
+// closeRaw closes without flushing (simulated process death).
+func (s *VStore) closeRaw() error { return s.f.Close() }

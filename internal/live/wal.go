@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // The live system uses a redo-only write-ahead log. The server is
@@ -21,6 +22,14 @@ import (
 // before acknowledging the commit. Recovery replays committed records in
 // log order. This matches the paper's steal/no-force WAL assumption from
 // the server's perspective while keeping undo unnecessary.
+
+// Crash points on the log's durability boundaries (see internal/fault).
+var (
+	cpWALPreFrame = fault.Register("wal.append.pre-frame")
+	cpWALTornTail = fault.Register("wal.append.torn-write")
+	cpWALPreSync  = fault.Register("wal.append.pre-sync")
+	cpWALTruncate = fault.Register("wal.truncate.pre")
+)
 
 // walRecord is one logged transaction.
 type walRecord struct {
@@ -35,32 +44,38 @@ type walRecord struct {
 type WAL struct {
 	f   *os.File
 	off int64
+	// synced is the offset known to be durable (fsynced). A simulated
+	// crash discards everything past it, modeling lost page-cache writes.
+	synced int64
 	// SyncOnCommit forces an fsync per appended record (durable but slow;
 	// tests turn it off).
 	SyncOnCommit bool
 }
 
 // OpenWAL opens (or creates) the log at path, positioned for appending
-// after the last valid record.
-func OpenWAL(path string) (*WAL, error) {
+// after the last valid record. It returns the records found by that scan
+// so recovery can replay them without re-reading the file.
+func OpenWAL(path string) (*WAL, []*walRecord, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	w := &WAL{f: f, SyncOnCommit: true}
-	// Find the append position by scanning valid records.
 	recs, off, err := scanWAL(f)
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, nil, err
 	}
-	_ = recs
 	w.off = off
-	return w, nil
+	w.synced = off // on-disk bytes are durable by definition
+	return w, recs, nil
 }
 
 // Append logs one committed transaction's afterimages.
 func (w *WAL) Append(rec *walRecord) error {
+	if err := cpWALPreFrame.Check(); err != nil {
+		return err
+	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
 		return err
@@ -69,27 +84,53 @@ func (w *WAL) Append(rec *walRecord) error {
 	binary.LittleEndian.PutUint32(frame[0:], uint32(body.Len()))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body.Bytes()))
 	copy(frame[8:], body.Bytes())
+	if err := cpWALTornTail.Check(); err != nil {
+		// Simulate a torn write: half the frame reaches the file before
+		// the process dies. Recovery must stop at the previous record.
+		w.f.WriteAt(frame[:len(frame)/2], w.off)
+		return err
+	}
 	if _, err := w.f.WriteAt(frame, w.off); err != nil {
 		return err
 	}
 	w.off += int64(len(frame))
+	if err := cpWALPreSync.Check(); err != nil {
+		return err
+	}
 	if w.SyncOnCommit {
-		return w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.synced = w.off
 	}
 	return nil
 }
 
 // Truncate discards the log (after a checkpoint made it redundant).
 func (w *WAL) Truncate() error {
+	if err := cpWALTruncate.Check(); err != nil {
+		return err
+	}
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	w.off = 0
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = 0
+	return nil
 }
 
 // Close closes the log file.
 func (w *WAL) Close() error { return w.f.Close() }
+
+// crash closes the log as a dying process would: bytes written but never
+// fsynced are discarded (the OS page cache died with the machine).
+func (w *WAL) crash() {
+	w.f.Truncate(w.synced)
+	w.f.Close()
+}
 
 // scanWAL reads every valid record from the start of the file, stopping at
 // the first torn/invalid frame (crash tail).
@@ -125,21 +166,10 @@ func scanWAL(f *os.File) ([]*walRecord, int64, error) {
 	}
 }
 
-// Recover replays the committed records in the log against the store and
-// flushes it. It returns the number of transactions replayed.
-func Recover(store objectStore, walPath string) (int, error) {
-	f, err := os.Open(walPath)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return 0, nil
-		}
-		return 0, err
-	}
-	defer f.Close()
-	recs, _, err := scanWAL(f)
-	if err != nil {
-		return 0, err
-	}
+// replayRecords applies committed records (in log order) to the store and
+// flushes it. Replay is idempotent: records are object afterimages, so
+// applying them over an already-recovered store rewrites the same bytes.
+func replayRecords(store objectStore, recs []*walRecord) (int, error) {
 	for _, rec := range recs {
 		if !rec.Commit {
 			continue
@@ -157,4 +187,20 @@ func Recover(store objectStore, walPath string) (int, error) {
 		return 0, err
 	}
 	return len(recs), nil
+}
+
+// Recover replays the committed records in the log at walPath against the
+// store. It shares one scan with the WAL it returns open (positioned for
+// appending); callers own closing it. Missing log: fresh empty WAL.
+func Recover(store objectStore, walPath string) (*WAL, int, error) {
+	w, recs, err := OpenWAL(walPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := replayRecords(store, recs)
+	if err != nil {
+		w.Close()
+		return nil, 0, err
+	}
+	return w, n, nil
 }

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// walWithRecords writes n committed records and returns the log path plus
+// the frame boundary offsets (offs[i] = file offset where record i ends).
+func walWithRecords(t *testing.T, n int) (string, []int64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, recs, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh WAL scanned %d records", len(recs))
+	}
+	offs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		rec := &walRecord{
+			Txn:    core.TxnID(100 + i),
+			Client: 1,
+			Objs:   []core.ObjID{o(core.PageID(i), 0)},
+			Images: [][]byte{{byte(i), 1, 2, 3}},
+			Commit: true,
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = w.off
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, offs
+}
+
+func scanFile(t *testing.T, path string) ([]*walRecord, int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, off, err := scanWAL(f)
+	if err != nil {
+		t.Fatalf("scanWAL returned a hard error: %v", err)
+	}
+	return recs, off
+}
+
+func appendRaw(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A tail holding fewer than 8 header bytes is a torn header: the scan
+// stops cleanly at the last whole record.
+func TestScanWALTruncatedHeaderTail(t *testing.T) {
+	path, offs := walWithRecords(t, 2)
+	appendRaw(t, path, []byte{0xde, 0xad, 0xbe}) // 3 bytes: not even a header
+	recs, off := scanFile(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("scanned %d records, want 2", len(recs))
+	}
+	if off != offs[1] {
+		t.Fatalf("resume offset %d, want %d (end of last whole record)", off, offs[1])
+	}
+	// Reopen-and-append recovers the torn tail: the next frame lands at
+	// the clean offset and the garbage is overwritten or left past EOF.
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&walRecord{Txn: 999, Commit: true,
+		Objs: []core.ObjID{o(5, 0)}, Images: [][]byte{{9}}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	recs, _ = scanFile(t, path)
+	if len(recs) != 3 || recs[2].Txn != 999 {
+		t.Fatalf("append after torn tail: scanned %d records", len(recs))
+	}
+}
+
+// A CRC mismatch mid-file stops the scan at the corrupted record — even
+// if later frames are intact, their durability ordering can no longer be
+// trusted, so they are deliberately discarded.
+func TestScanWALCRCMismatchMidFile(t *testing.T) {
+	path, offs := walWithRecords(t, 3)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside record 1's body (first byte past its header).
+	if _, err := f.WriteAt([]byte{0xff}, offs[0]+8); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, off := scanFile(t, path)
+	if len(recs) != 1 {
+		t.Fatalf("scanned %d records past a CRC hole, want 1", len(recs))
+	}
+	if recs[0].Txn != 100 {
+		t.Fatalf("surviving record Txn=%d, want 100", recs[0].Txn)
+	}
+	if off != offs[0] {
+		t.Fatalf("resume offset %d, want %d", off, offs[0])
+	}
+}
+
+// An absurd length field (beyond the 1<<28 sanity bound) is garbage, not
+// an allocation request: the scan stops without trying to read 512MiB.
+func TestScanWALOversizedLengthField(t *testing.T) {
+	path, offs := walWithRecords(t, 1)
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:], 1<<29)
+	binary.LittleEndian.PutUint32(hdr[4:], 0xabad1dea)
+	appendRaw(t, path, hdr)
+	recs, off := scanFile(t, path)
+	if len(recs) != 1 {
+		t.Fatalf("scanned %d records, want 1", len(recs))
+	}
+	if off != offs[0] {
+		t.Fatalf("resume offset %d, want %d", off, offs[0])
+	}
+}
+
+// A zero-length frame (all-zero header, e.g. preallocated or zero-filled
+// tail blocks) terminates the scan cleanly.
+func TestScanWALZeroLengthFrame(t *testing.T) {
+	path, offs := walWithRecords(t, 2)
+	appendRaw(t, path, make([]byte, 8))
+	recs, off := scanFile(t, path)
+	if len(recs) != 2 {
+		t.Fatalf("scanned %d records, want 2", len(recs))
+	}
+	if off != offs[1] {
+		t.Fatalf("resume offset %d, want %d", off, offs[1])
+	}
+}

@@ -3,8 +3,10 @@ package live
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -93,6 +95,65 @@ func Dial(addr string) (Conn, error) {
 		return nil, err
 	}
 	return NewTCPConn(c), nil
+}
+
+// RetryPolicy shapes connection retries: capped exponential backoff with
+// uniform jitter. The zero value selects the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts bounds the number of dial attempts; <= 0 means retry
+	// forever (reconnects) or the default 5 (DialRetry).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 10ms); each failure
+	// doubles it up to MaxDelay (default 1s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// jittered spreads a backoff step over [d/2, d) so that a herd of clients
+// reconnecting after one server hiccup does not re-dial in lockstep.
+func (p RetryPolicy) jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// DialRetry connects to a live server at addr, retrying transient dial
+// failures under the given policy (zero value: 5 attempts, 10ms..1s
+// backoff).
+func DialRetry(addr string, policy RetryPolicy) (Conn, error) {
+	policy = policy.withDefaults()
+	attempts := policy.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	delay := policy.BaseDelay
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(policy.jittered(delay))
+			if delay *= 2; delay > policy.MaxDelay {
+				delay = policy.MaxDelay
+			}
+		}
+		conn, err := Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("live: dial %s: %w", addr, lastErr)
 }
 
 func (t *tcpConn) Send(m *core.Msg) error {

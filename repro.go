@@ -24,6 +24,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -57,6 +58,16 @@ func Obj(page PageID, slot uint16) ObjID { return ObjID{Page: page, Slot: slot} 
 // retried.
 var ErrAborted = live.ErrAborted
 
+// ErrTimeout is returned when a request exceeds the configured
+// RequestTimeout. A Commit returning ErrTimeout has UNKNOWN outcome: the
+// server may or may not have committed before the deadline.
+var ErrTimeout = live.ErrTimeout
+
+// ErrDisconnected is returned for operations whose transaction was aborted
+// locally because the connection was lost. As with ErrTimeout, a Commit
+// already in flight at disconnect time has unknown outcome.
+var ErrDisconnected = live.ErrDisconnected
+
 // Server is the live page-server DBMS process.
 type Server = live.Server
 
@@ -68,6 +79,16 @@ type Txn = live.Txn
 
 // ServerOptions configures a standalone live server.
 type ServerOptions = live.ServerOptions
+
+// ClientOptions configures a live client (cache size, request deadline,
+// reconnect policy).
+type ClientOptions = live.ClientOptions
+
+// RetryPolicy shapes dial/reconnect backoff.
+type RetryPolicy = live.RetryPolicy
+
+// Conn is the client<->server transport interface.
+type Conn = live.Conn
 
 // OpenServer opens (creating and recovering as needed) a database
 // directory and returns the server.
@@ -84,6 +105,22 @@ func Dial(addr string) (*Client, error) {
 	return live.Connect(conn, live.ClientOptions{})
 }
 
+// DialConn dials the raw transport without the client handshake — the
+// building block for ClientOptions.Redial policies.
+func DialConn(addr string) (Conn, error) { return live.Dial(addr) }
+
+// DialOpts connects to a TCP live server with explicit client options,
+// retrying the initial dial under opts.Retry. Set opts.Redial (e.g. to
+// DialConn of the same address) to make the client transparently
+// reconnect — with backoff and a cold cache — after transport failures.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := live.DialRetry(addr, opts.Retry)
+	if err != nil {
+		return nil, err
+	}
+	return live.Connect(conn, opts)
+}
+
 // ClusterOptions configures NewCluster.
 type ClusterOptions struct {
 	Proto       Protocol
@@ -95,6 +132,9 @@ type ClusterOptions struct {
 	// VariableObjects enables size-changing updates (slotted pages with
 	// overflow forwarding); requires Proto == OS.
 	VariableObjects bool
+	// CallbackTimeout deposes clients that leave a consistency callback
+	// unanswered this long (0: wait forever). See ServerOptions.
+	CallbackTimeout time.Duration
 }
 
 // Cluster is an in-process server with a set of attached clients —
@@ -116,6 +156,7 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		Proto: opts.Proto, PageSize: opts.PageSize, ObjsPerPage: opts.ObjsPerPage,
 		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL,
 		VariableObjects: opts.VariableObjects,
+		CallbackTimeout: opts.CallbackTimeout,
 	})
 	if err != nil {
 		return nil, err
