@@ -1,0 +1,128 @@
+// Command benchguard compares `go test -bench -benchmem` output on stdin
+// against the latest recorded baseline in BENCH_figures.json and exits
+// non-zero if any benchmark's allocs/op regressed by more than the
+// allowed percentage. CI uses it to keep the simulator's hot path
+// allocation-free growth honest:
+//
+//	go test -bench Fig03 -benchmem -run '^$' . | benchguard -baseline BENCH_figures.json -max-regress 5
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchFile mirrors the slice of BENCH_figures.json that benchguard reads:
+// runs, each optionally carrying a benchmarks map.
+type benchFile struct {
+	Runs []struct {
+		Timestamp  string `json:"timestamp"`
+		Benchmarks map[string]struct {
+			NsPerOp     float64 `json:"ns_per_op"`
+			BytesPerOp  float64 `json:"bytes_per_op"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"benchmarks"`
+	} `json:"runs"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_figures.json", "baseline file")
+	maxRegress := flag.Float64("max-regress", 5.0, "max allowed allocs/op regression, percent")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+	// Latest run that recorded benchmarks wins.
+	baseline := map[string]float64{}
+	for _, run := range bf.Runs {
+		for name, b := range run.Benchmarks {
+			baseline[name] = b.AllocsPerOp
+		}
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("no benchmark baselines in %s", *baselinePath))
+	}
+
+	current, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (did the bench run?)"))
+	}
+
+	failed := false
+	for name, allocs := range current {
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Printf("benchguard: %s: no baseline, skipping (%.0f allocs/op now)\n", name, allocs)
+			continue
+		}
+		deltaPct := (allocs - base) / base * 100
+		status := "ok"
+		if deltaPct > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-40s %10.0f allocs/op (baseline %.0f, %+.2f%%) %s\n",
+			name, allocs, base, deltaPct, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: allocs/op regressed more than %.1f%%\n", *maxRegress)
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput extracts "BenchmarkName-N  iters  X ns/op  Y B/op  Z
+// allocs/op" lines, keyed by the benchmark name with the -GOMAXPROCS
+// suffix stripped (baselines are recorded without it).
+func parseBenchOutput(f *os.File) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // echo so CI logs keep the raw bench output
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var allocs float64 = -1
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "allocs/op" && i > 0 {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+				}
+				allocs = v
+			}
+		}
+		if allocs < 0 {
+			continue // bench line without -benchmem columns
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix iff numeric.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = allocs
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

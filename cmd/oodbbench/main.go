@@ -37,11 +37,17 @@ func main() {
 		"per-request deadline for remote clients (0 = wait forever)")
 	reconnect := flag.Bool("reconnect", false,
 		"redial remote servers with backoff after transport failures")
+	metricsEvery := flag.Duration("metrics-every", 0,
+		"dump the metrics snapshot at this interval while running (0 = off)")
 	flag.Parse()
 
 	var connect func() (*repro.Client, error)
 	var numPages, objsPerPage int
 	var statsFn func() core.ServerStats
+
+	// One registry aggregates the (in-process) server and every client, so
+	// the final dump shows both sides of each protocol action.
+	reg := repro.NewMetricsRegistry()
 
 	if *addr == "" {
 		p, ok := core.ParseProtocol(*proto)
@@ -54,7 +60,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		cluster, err := repro.NewCluster(dir, repro.ClusterOptions{
-			Proto: p, Clients: 0, NumPages: *pages,
+			Proto: p, Clients: 0, NumPages: *pages, Metrics: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -64,7 +70,7 @@ func main() {
 		statsFn = cluster.Server().Stats
 		numPages, objsPerPage, _ = cluster.Server().Geometry()
 	} else {
-		opts := repro.ClientOptions{RequestTimeout: *rto}
+		opts := repro.ClientOptions{RequestTimeout: *rto, Metrics: reg}
 		if *reconnect {
 			a := *addr
 			opts.Redial = func() (repro.Conn, error) { return repro.DialConn(a) }
@@ -80,6 +86,24 @@ func main() {
 
 	fmt.Printf("oodbbench: %d clients x %d txns (%dr+%dw objects), db=%d pages\n",
 		*clients, *txns, *reads, *writes, numPages)
+
+	if *metricsEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*metricsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				fmt.Println("--- metrics snapshot ---")
+				reg.WriteHuman(os.Stdout)
+			}
+		}()
+	}
 
 	var committed, aborted int64
 	start := time.Now()
@@ -137,6 +161,8 @@ func main() {
 			st.ReadReqs, st.WriteReqs, st.Callbacks, st.BusyReplies,
 			st.Deescalations, st.PageGrants, st.ObjGrants, st.Deadlocks)
 	}
+	fmt.Println("--- final metrics ---")
+	reg.WriteHuman(os.Stdout)
 }
 
 func runTxn(tx *repro.Txn, rng *rand.Rand, pick func() repro.ObjID, reads, writes int) error {

@@ -17,6 +17,12 @@
 //	-callback-timeout  depose clients that leave a cache-consistency
 //	                   callback unanswered for this long (0 disables);
 //	                   bounds how long one silent client can stall writers
+//	-admin             serve the observability endpoint on this address
+//	                   (/metrics, /statusz, /trace, /debug/pprof/*)
+//	-trace             start with protocol event tracing enabled (the
+//	                   admin endpoint can toggle it at runtime)
+//	-stats-every       print a one-line stats summary at this interval
+//	                   (0 = off)
 //
 // Clients connect with repro.Dial (or cmd/oodbbench).
 //
@@ -31,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -46,6 +53,11 @@ func main() {
 	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
 	cbTimeout := flag.Duration("callback-timeout", 0,
 		"depose clients with callbacks unanswered this long (0 = wait forever)")
+	admin := flag.String("admin", "",
+		"observability HTTP address, e.g. :6060 (empty = disabled)")
+	trace := flag.Bool("trace", false, "start with protocol event tracing enabled")
+	statsEvery := flag.Duration("stats-every", 0,
+		"print a one-line stats summary at this interval (0 = off)")
 	flag.Parse()
 
 	p, ok := core.ParseProtocol(*proto)
@@ -62,6 +74,35 @@ func main() {
 	np, opp, osz := srv.Geometry()
 	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each)\n",
 		p, *addr, np, opp, osz)
+
+	srv.Tracer().SetEnabled(*trace)
+	if *admin != "" {
+		as, err := live.ServeAdmin(srv, *admin)
+		if err != nil {
+			fatal(err)
+		}
+		defer as.Close()
+		fmt.Printf("oodbserver: admin endpoint on http://%s (/metrics /statusz /trace /debug/pprof)\n", as.Addr())
+	}
+	if *statsEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				st := srv.Stats()
+				fmt.Printf("stats: sessions=%d reads=%d writes=%d commits=%d aborts=%d blocks=%d callbacks=%d busy=%d deadlocks=%d\n",
+					srv.Sessions(), st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts,
+					st.Blocks, st.Callbacks, st.BusyReplies, st.Deadlocks)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

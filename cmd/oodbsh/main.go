@@ -71,6 +71,7 @@ func run(args []string) error {
 
 	var client *repro.Client
 	var statsFn func() core.ServerStats
+	var metrics *repro.MetricsRegistry
 	if addr != "" {
 		c, err := repro.Dial(addr)
 		if err != nil {
@@ -83,8 +84,9 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown protocol %q", proto)
 		}
+		metrics = repro.NewMetricsRegistry()
 		cluster, err := repro.NewCluster(dir, repro.ClusterOptions{
-			Proto: p, Clients: 1, NumPages: pages,
+			Proto: p, Clients: 1, NumPages: pages, Metrics: metrics,
 		})
 		if err != nil {
 			return err
@@ -97,11 +99,11 @@ func run(args []string) error {
 			dir, p, np, opp, client.ObjSize())
 	}
 	defer client.Close()
-	return repl(os.Stdin, os.Stdout, client, statsFn)
+	return repl(os.Stdin, os.Stdout, client, statsFn, metrics)
 }
 
 // repl runs the command loop; split out for testing.
-func repl(in *os.File, out *os.File, client *repro.Client, statsFn func() core.ServerStats) error {
+func repl(in *os.File, out *os.File, client *repro.Client, statsFn func() core.ServerStats, metrics *repro.MetricsRegistry) error {
 	var tx *repro.Txn
 	ensureTx := func() (*repro.Txn, error) {
 		if tx != nil {
@@ -219,6 +221,10 @@ func repl(in *os.File, out *os.File, client *repro.Client, statsFn func() core.S
 			fmt.Fprintf(out, "reads=%d writes=%d commits=%d aborts=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d deadlocks=%d\n",
 				st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Callbacks,
 				st.BusyReplies, st.Deescalations, st.PageGrants, st.ObjGrants, st.Deadlocks)
+			if metrics != nil {
+				fmt.Fprintln(out, "--- metrics ---")
+				metrics.WriteHuman(out)
+			}
 		default:
 			fmt.Fprintf(out, "unknown command %q (try help)\n", fields[0])
 		}

@@ -41,9 +41,9 @@ func (se *ServerEngine) RecheckDeadlock(t TxnID) bool {
 	if st == nil {
 		return false
 	}
-	before := se.Stats.Deadlocks
+	before := se.Stats.Deadlocks.Load()
 	se.deadlockCheck(st)
-	return se.Stats.Deadlocks > before
+	return se.Stats.Deadlocks.Load() > before
 }
 
 // TraceDeadlock runs the incremental detector's exact logic from t,

@@ -293,8 +293,8 @@ func TestPSBusyCallbackWaitsForReader(t *testing.T) {
 	if st != opBlocked {
 		t.Fatalf("write should block on busy reader, got %d", st)
 	}
-	if h.se.Stats.BusyReplies != 1 {
-		t.Fatalf("busy replies = %d", h.se.Stats.BusyReplies)
+	if h.se.Stats.BusyReplies.Load() != 1 {
+		t.Fatalf("busy replies = %d", h.se.Stats.BusyReplies.Load())
 	}
 	h.commit(2) // reader commits -> deferred ack -> grant
 	if !h.hasReply(1) {
@@ -343,8 +343,8 @@ func TestPSDeadlockAbortsYoungest(t *testing.T) {
 	if st != opAborted {
 		t.Fatalf("c2 (youngest) should abort, got %d", st)
 	}
-	if h.se.Stats.Deadlocks != 1 {
-		t.Fatalf("deadlocks = %d", h.se.Stats.Deadlocks)
+	if h.se.Stats.Deadlocks.Load() != 1 {
+		t.Fatalf("deadlocks = %d", h.se.Stats.Deadlocks.Load())
 	}
 	// c1's write proceeds once c2's abort releases its busy hold.
 	if !h.hasReply(1) {
@@ -503,8 +503,8 @@ func TestPSOAAdaptiveCallbackPurgesIdlePage(t *testing.T) {
 	if h.msgs[MCallback] != cbBefore {
 		t.Fatal("second write caused a callback despite purged copy")
 	}
-	if h.se.Stats.ObjGrants != 2 || h.se.Stats.PageGrants != 0 {
-		t.Fatalf("grants: obj=%d page=%d", h.se.Stats.ObjGrants, h.se.Stats.PageGrants)
+	if h.se.Stats.ObjGrants.Load() != 2 || h.se.Stats.PageGrants.Load() != 0 {
+		t.Fatalf("grants: obj=%d page=%d", h.se.Stats.ObjGrants.Load(), h.se.Stats.PageGrants.Load())
 	}
 	h.commit(1)
 }
@@ -536,8 +536,8 @@ func TestPSAAPageGrantWhenNoContention(t *testing.T) {
 	h.begin(1)
 	h.mustDone(1, h.read(1, o(0, 0)))
 	h.mustDone(1, h.write(1, o(0, 0)))
-	if h.se.Stats.PageGrants != 1 {
-		t.Fatalf("page grants = %d, want 1", h.se.Stats.PageGrants)
+	if h.se.Stats.PageGrants.Load() != 1 {
+		t.Fatalf("page grants = %d, want 1", h.se.Stats.PageGrants.Load())
 	}
 	// Subsequent writes anywhere on the page are local.
 	before := h.msgs[MWriteReq]
@@ -556,13 +556,13 @@ func TestPSAAObjectGrantWhenPageKept(t *testing.T) {
 
 	h.begin(1)
 	h.mustDone(1, h.write(1, o(0, 0)))
-	if h.se.Stats.ObjGrants != 1 || h.se.Stats.PageGrants != 0 {
-		t.Fatalf("grants: obj=%d page=%d", h.se.Stats.ObjGrants, h.se.Stats.PageGrants)
+	if h.se.Stats.ObjGrants.Load() != 1 || h.se.Stats.PageGrants.Load() != 0 {
+		t.Fatalf("grants: obj=%d page=%d", h.se.Stats.ObjGrants.Load(), h.se.Stats.PageGrants.Load())
 	}
 	// A second write on the page needs another object lock (message).
 	h.mustDone(1, h.write(1, o(0, 5)))
-	if h.se.Stats.ObjGrants != 2 {
-		t.Fatalf("obj grants = %d", h.se.Stats.ObjGrants)
+	if h.se.Stats.ObjGrants.Load() != 2 {
+		t.Fatalf("obj grants = %d", h.se.Stats.ObjGrants.Load())
 	}
 	h.commit(1)
 	h.commit(2)
@@ -579,8 +579,8 @@ func TestPSAADeescalation(t *testing.T) {
 
 	h.begin(2)
 	st := h.read(2, o(0, 5)) // triggers de-escalation of c1's page lock
-	if h.se.Stats.Deescalations != 1 {
-		t.Fatalf("deescalations = %d", h.se.Stats.Deescalations)
+	if h.se.Stats.Deescalations.Load() != 1 {
+		t.Fatalf("deescalations = %d", h.se.Stats.Deescalations.Load())
 	}
 	// After de-escalation the read proceeds (slot 0 unavailable).
 	if st == opBlocked {
@@ -622,8 +622,8 @@ func TestPSAAReescalationAfterContentionPasses(t *testing.T) {
 	h.mustDone(2, h.read(2, o(0, 1)))
 	h.begin(1)
 	h.mustDone(1, h.write(1, o(0, 0)))
-	if h.se.Stats.ObjGrants != 1 {
-		t.Fatalf("obj grants = %d", h.se.Stats.ObjGrants)
+	if h.se.Stats.ObjGrants.Load() != 1 {
+		t.Fatalf("obj grants = %d", h.se.Stats.ObjGrants.Load())
 	}
 	h.commit(1)
 	h.commit(2)
@@ -632,8 +632,8 @@ func TestPSAAReescalationAfterContentionPasses(t *testing.T) {
 	// and c1 re-escalates to a page grant.
 	h.begin(1)
 	h.mustDone(1, h.write(1, o(0, 3)))
-	if h.se.Stats.PageGrants != 1 {
-		t.Fatalf("page grants = %d, want 1 (re-escalation)", h.se.Stats.PageGrants)
+	if h.se.Stats.PageGrants.Load() != 1 {
+		t.Fatalf("page grants = %d, want 1 (re-escalation)", h.se.Stats.PageGrants.Load())
 	}
 	h.commit(1)
 }

@@ -14,7 +14,7 @@ func TestPSWTSerializesPageUpdaters(t *testing.T) {
 	if st := h.write(2, o(0, 1)); st != opBlocked {
 		t.Fatalf("second updater should wait for the token, got %v", st)
 	}
-	if h.se.Stats.TokenWaits == 0 {
+	if h.se.Stats.TokenWaits.Load() == 0 {
 		t.Fatal("token wait not counted")
 	}
 	h.commit(1)

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // ServerEngine is the server DBMS protocol state machine for all five
 // granularity alternatives. It is a pure event->messages transducer:
@@ -30,28 +35,81 @@ type ServerEngine struct {
 
 	mergeObjs int64 // CopyMergeInst accumulator (commit installs)
 
-	Stats ServerStats
+	Stats ServerCounters
+
+	// Trace, when set, observes protocol events (transaction lifecycle,
+	// blocking, grants, callback rounds) as they happen. The live server
+	// uses it to feed its tracer and lock-wait histograms; nil (the
+	// simulator's default) costs one predictable branch per event.
+	Trace func(kind obs.EventKind, txn TxnID, client ClientID, obj ObjID, extra int64)
 
 	// DebugCheckLog, when set (tests only), observes every deadlock
 	// check: start txn, its direct waits, chosen victim (0 if none).
 	DebugCheckLog func(start TxnID, waits []TxnID, victim TxnID)
 }
 
-// ServerStats counts protocol-level events of interest.
+// ServerCounters counts protocol-level events of interest. The fields are
+// atomics because the engine increments them on its driver's goroutine
+// while monitors (live Stats() callers, the admin endpoint, periodic
+// summaries) read them concurrently; use Snapshot for a plain-struct
+// view.
+type ServerCounters struct {
+	Deadlocks     atomic.Int64 // cycles resolved (victims chosen)
+	Rounds        atomic.Int64 // callback rounds started
+	Callbacks     atomic.Int64 // individual callback messages sent
+	BusyReplies   atomic.Int64
+	Deescalations atomic.Int64 // de-escalation requests issued
+	PageGrants    atomic.Int64 // page-level write locks granted
+	ObjGrants     atomic.Int64 // object-level write locks granted
+	Blocks        atomic.Int64 // requests that blocked at least once
+	TokenWaits    atomic.Int64 // PS-WT: writes blocked on the page write token
+	ReadReqs      atomic.Int64
+	WriteReqs     atomic.Int64
+	Commits       atomic.Int64
+	Aborts        atomic.Int64
+}
+
+// ServerStats is a point-in-time snapshot of ServerCounters.
 type ServerStats struct {
-	Deadlocks     int64 // cycles resolved (victims chosen)
-	Rounds        int64 // callback rounds started
-	Callbacks     int64 // individual callback messages sent
+	Deadlocks     int64
+	Rounds        int64
+	Callbacks     int64
 	BusyReplies   int64
-	Deescalations int64 // de-escalation requests issued
-	PageGrants    int64 // page-level write locks granted
-	ObjGrants     int64 // object-level write locks granted
-	Blocks        int64 // requests that blocked at least once
-	TokenWaits    int64 // PS-WT: writes blocked on the page write token
+	Deescalations int64
+	PageGrants    int64
+	ObjGrants     int64
+	Blocks        int64
+	TokenWaits    int64
 	ReadReqs      int64
 	WriteReqs     int64
 	Commits       int64
 	Aborts        int64
+}
+
+// Snapshot reads the counters into a plain struct.
+func (c *ServerCounters) Snapshot() ServerStats {
+	return ServerStats{
+		Deadlocks:     c.Deadlocks.Load(),
+		Rounds:        c.Rounds.Load(),
+		Callbacks:     c.Callbacks.Load(),
+		BusyReplies:   c.BusyReplies.Load(),
+		Deescalations: c.Deescalations.Load(),
+		PageGrants:    c.PageGrants.Load(),
+		ObjGrants:     c.ObjGrants.Load(),
+		Blocks:        c.Blocks.Load(),
+		TokenWaits:    c.TokenWaits.Load(),
+		ReadReqs:      c.ReadReqs.Load(),
+		WriteReqs:     c.WriteReqs.Load(),
+		Commits:       c.Commits.Load(),
+		Aborts:        c.Aborts.Load(),
+	}
+}
+
+// trace emits a protocol event to the Trace hook, if any.
+func (se *ServerEngine) trace(kind obs.EventKind, txn TxnID, client ClientID, obj ObjID, extra int64) {
+	if se.Trace != nil {
+		se.Trace(kind, txn, client, obj, extra)
+	}
 }
 
 // stxn is the server's view of an active transaction.
@@ -109,10 +167,10 @@ func (se *ServerEngine) Handle(m *Msg) []Msg {
 	se.processDropped(m)
 	switch m.Kind {
 	case MReadReq:
-		se.Stats.ReadReqs++
+		se.Stats.ReadReqs.Add(1)
 		se.handleRequest(m, false)
 	case MWriteReq:
-		se.Stats.WriteReqs++
+		se.Stats.WriteReqs.Add(1)
 		se.handleRequest(m, true)
 	case MCommitReq:
 		se.handleCommit(m)
@@ -166,6 +224,7 @@ func (se *ServerEngine) getTxn(t TxnID, c ClientID) *stxn {
 	if st == nil {
 		st = &stxn{id: t, client: c}
 		se.txns[t] = st
+		se.trace(obs.EvBegin, t, c, ObjID{}, 0)
 	}
 	return st
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // handleRequest processes a read or write request: try it, and queue it if
 // it blocks.
@@ -9,6 +13,11 @@ func (se *ServerEngine) handleRequest(m *Msg, isWrite bool) {
 	if t.blocked != nil || t.round != nil {
 		panic(fmt.Sprintf("core: txn %d issued a request while one is outstanding", m.Txn))
 	}
+	var isW int64
+	if isWrite {
+		isW = 1
+	}
+	se.trace(obs.EvLockReq, m.Txn, m.From, m.Obj, isW)
 	r := &blockedReq{msg: *m, txn: t, isWrite: isWrite}
 	if se.tryRequest(r) {
 		se.maybeForget(t)
@@ -33,7 +42,8 @@ func (se *ServerEngine) enqueue(r *blockedReq) {
 	r.txn.blocked = r
 	if !r.blockedOnce {
 		r.blockedOnce = true
-		se.Stats.Blocks++
+		se.Stats.Blocks.Add(1)
+		se.trace(obs.EvBlock, r.msg.Txn, r.msg.From, r.msg.Obj, 0)
 	}
 	se.deadlockCheck(r.txn)
 }
@@ -200,7 +210,7 @@ func (se *ServerEngine) tryWrite(r *blockedReq) bool {
 		}
 		// One updater per page at a time: the write token.
 		if tok := se.tokens[p]; tok != nil && tok.id != m.Txn {
-			se.Stats.TokenWaits++
+			se.Stats.TokenWaits.Add(1)
 			return false
 		}
 		holders := se.Copies.ObjHolders(o, m.From)
@@ -261,7 +271,8 @@ func (se *ServerEngine) needData(m *Msg) bool {
 // needed).
 func (se *ServerEngine) grantPageX(m *Msg) {
 	se.Locks.GrantPageX(m.Txn, m.From, m.Page)
-	se.Stats.PageGrants++
+	se.Stats.PageGrants.Add(1)
+	se.trace(obs.EvGrant, m.Txn, m.From, m.Obj, int64(GrantPage))
 	if se.needData(m) {
 		// Under a page grant no other transaction holds locks on the page,
 		// so nothing is unavailable.
@@ -280,7 +291,8 @@ func (se *ServerEngine) grantPageX(m *Msg) {
 // needed). Under PS-WT the grant also takes the page's write token.
 func (se *ServerEngine) grantObjX(m *Msg) {
 	se.Locks.GrantObjX(m.Txn, m.From, m.Obj)
-	se.Stats.ObjGrants++
+	se.Stats.ObjGrants.Add(1)
+	se.trace(obs.EvGrant, m.Txn, m.From, m.Obj, int64(GrantObject))
 	if se.Proto == PSWT {
 		if tok := se.tokens[m.Page]; tok == nil {
 			t := se.getTxn(m.Txn, m.From)
@@ -321,10 +333,12 @@ func (se *ServerEngine) startRound(r *blockedReq, kind CallbackKind, holders []C
 	se.rounds[rd.id] = rd
 	se.pageRound[rd.page] = append(se.pageRound[rd.page], rd)
 	r.txn.round = rd
-	se.Stats.Rounds++
+	se.Stats.Rounds.Add(1)
+	se.trace(obs.EvRound, rd.txn.id, r.msg.From, rd.obj, int64(len(holders)))
 	for _, c := range holders {
 		rd.pending[c] = true
-		se.Stats.Callbacks++
+		se.Stats.Callbacks.Add(1)
+		se.trace(obs.EvCallback, rd.txn.id, c, rd.obj, int64(kind))
 		// Quote the registration epoch this callback revokes.
 		var epoch int64
 		if kind == CBObject {
@@ -360,8 +374,13 @@ func (se *ServerEngine) handleAck(m *Msg) {
 	if rd == nil {
 		return // round cancelled (victim aborted); effects already applied
 	}
+	var busy int64
 	if m.Busy {
-		se.Stats.BusyReplies++
+		busy = 1
+	}
+	se.trace(obs.EvCallbackAck, rd.txn.id, m.From, rd.obj, busy)
+	if m.Busy {
+		se.Stats.BusyReplies.Add(1)
 		rd.busy[m.From] = m.BusyTxn
 		se.deadlockCheck(rd.txn)
 		return
@@ -393,7 +412,7 @@ func (se *ServerEngine) completeRound(rd *round) {
 		// The token may have been taken by a direct grant while our
 		// callbacks were in flight; if so, re-queue behind the holder.
 		if tok := se.tokens[rd.page]; tok != nil && tok.id != m.Txn {
-			se.Stats.TokenWaits++
+			se.Stats.TokenWaits.Add(1)
 			se.enqueue(&blockedReq{msg: rd.req, txn: rd.txn, isWrite: true, blockedOnce: true})
 			se.retryQueue(rd.page)
 			return
@@ -445,7 +464,8 @@ func (se *ServerEngine) ensureDeesc(p PageID, holder TxnID) {
 		panic(fmt.Sprintf("core: page X held by unknown txn %d", holder))
 	}
 	se.deesc[p] = true
-	se.Stats.Deescalations++
+	se.Stats.Deescalations.Add(1)
+	se.trace(obs.EvDeesc, holder, ht.client, ObjID{Page: p}, 0)
 	se.send(Msg{Kind: MDeescReq, To: ht.client, Txn: holder, Page: p})
 }
 
@@ -467,7 +487,8 @@ func (se *ServerEngine) handleDeescReply(m *Msg) {
 // ---- Commit / abort ----
 
 func (se *ServerEngine) handleCommit(m *Msg) {
-	se.Stats.Commits++
+	se.Stats.Commits.Add(1)
+	se.trace(obs.EvCommit, m.Txn, m.From, ObjID{}, int64(len(m.Objs)))
 	t := se.txns[m.Txn]
 	if t != nil && (t.blocked != nil || t.round != nil) {
 		panic("core: commit from a blocked transaction")
@@ -493,7 +514,8 @@ func (se *ServerEngine) handleCommit(m *Msg) {
 }
 
 func (se *ServerEngine) handleAbort(m *Msg) {
-	se.Stats.Aborts++
+	se.Stats.Aborts.Add(1)
+	se.trace(obs.EvAbort, m.Txn, m.From, ObjID{}, 0)
 	t := se.txns[m.Txn]
 	roundPage := InvalidPage
 	if t != nil {
@@ -641,7 +663,8 @@ func (se *ServerEngine) Disconnect(c ClientID) []Msg {
 			se.dropRound(t.round)
 		}
 		t.aborting = true // suppress victim selection against a ghost
-		se.Stats.Aborts++
+		se.Stats.Aborts.Add(1)
+		se.trace(obs.EvAbort, t.id, c, ObjID{}, 1)
 		se.finishTxn(t.id)
 		if roundPage != InvalidPage {
 			se.retryQueue(roundPage)
@@ -700,7 +723,7 @@ func (se *ServerEngine) deadlockCheck(t *stxn) {
 		if victim == nil {
 			return
 		}
-		se.Stats.Deadlocks++
+		se.Stats.Deadlocks.Add(1)
 		se.abortVictim(victim)
 	}
 }
@@ -805,6 +828,7 @@ func (se *ServerEngine) waitsFor(t *stxn) []TxnID {
 // MAbortReq arrives.
 func (se *ServerEngine) abortVictim(v *stxn) {
 	v.aborting = true
+	se.trace(obs.EvDeadlock, v.id, v.client, ObjID{}, 0)
 	var reqID int64
 	roundPage := InvalidPage
 	if v.blocked != nil {

@@ -1,0 +1,96 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// AdminHandler serves the server's observability surface:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/statusz        one-page human-readable server status
+//	/trace?n=&txn=  last n trace events as JSONL (txn filters)
+//	/trace/on, /trace/off  switch event tracing at runtime
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// The handlers collect metrics without the server lock (the gauges take
+// it themselves), so serving traffic never stalls the data path.
+func AdminHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		pages, opp, objSize := s.Geometry()
+		st := s.Stats()
+		fmt.Fprintf(w, "oodbserver status @ %s\n\n", time.Now().Format(time.RFC3339))
+		fmt.Fprintf(w, "protocol:  %v\n", s.Proto())
+		fmt.Fprintf(w, "geometry:  %d pages x %d objs x %d B\n", pages, opp, objSize)
+		fmt.Fprintf(w, "sessions:  %d\n", s.Sessions())
+		fmt.Fprintf(w, "tracing:   enabled=%v dropped=%d\n\n", s.tracer.Enabled(), s.tracer.Dropped())
+		fmt.Fprintf(w, "engine: reads=%d writes=%d commits=%d aborts=%d blocks=%d deadlocks=%d\n",
+			st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Blocks, st.Deadlocks)
+		fmt.Fprintf(w, "        rounds=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d\n\n",
+			st.Rounds, st.Callbacks, st.BusyReplies, st.Deescalations, st.PageGrants, st.ObjGrants)
+		s.registry.WriteHuman(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			n, _ = strconv.Atoi(v)
+		}
+		var txn int64
+		if v := r.URL.Query().Get("txn"); v != "" {
+			txn, _ = strconv.ParseInt(v, 10, 64)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.tracer.WriteJSONL(w, n, txn)
+	})
+	mux.HandleFunc("/trace/on", func(w http.ResponseWriter, r *http.Request) {
+		s.tracer.SetEnabled(true)
+		fmt.Fprintln(w, "tracing on")
+	})
+	mux.HandleFunc("/trace/off", func(w http.ResponseWriter, r *http.Request) {
+		s.tracer.SetEnabled(false)
+		fmt.Fprintln(w, "tracing off")
+	})
+	// pprof on a private mux: registering on http.DefaultServeMux would
+	// leak the profiler onto any other server in the process.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin HTTP endpoint.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin endpoint on addr (e.g. ":6060") and serves
+// until Close. It returns once the listener is bound, so the caller can
+// read Addr immediately.
+func ServeAdmin(s *Server, addr string) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{ln: ln, srv: &http.Server{Handler: AdminHandler(s)}}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin endpoint.
+func (a *AdminServer) Close() error { return a.srv.Close() }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // attachFaulty attaches a client to srv through a FaultConn so tests can
@@ -284,6 +285,9 @@ func TestChaosSoakLive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+	// Chaos runs with tracing on: a coherence failure below dumps the
+	// protocol history of the implicated page.
+	srv.Tracer().SetEnabled(true)
 
 	var seedCtr atomic.Int64
 	plan := func() fault.ConnPlan {
@@ -459,7 +463,9 @@ func TestChaosSoakLive(t *testing.T) {
 			v := binary.LittleEndian.Uint64(got[:8])
 			lo, hi := acked[obj], acked[obj]+unknown[obj]
 			if v < lo || v > hi {
-				t.Errorf("object %v: counter=%d outside [acked=%d, acked+unknown=%d]", obj, v, lo, hi)
+				t.Errorf("object %v: counter=%d outside [acked=%d, acked+unknown=%d]\nlast protocol events for page %d:\n%s",
+					obj, v, lo, hi, obj.Page,
+					obs.FormatEvents(srv.Tracer().ForPage(int32(obj.Page), 50)))
 			}
 			totalAcked += acked[obj]
 		}

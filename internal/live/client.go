@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrAborted is returned by transaction operations when the transaction
@@ -40,6 +41,7 @@ type Client struct {
 	id    core.ClientID
 	proto core.Protocol
 	opts  ClientOptions
+	met   *clientMetrics // nil when no registry configured
 
 	numPages    int
 	objsPerPage int
@@ -102,6 +104,12 @@ type ClientOptions struct {
 
 	// Retry shapes the reconnect backoff (zero value: defaults).
 	Retry RetryPolicy
+
+	// Metrics, when set, publishes client-side counters (cache hit/miss,
+	// fetches, aborts, reconnects) and the request RTT histogram on the
+	// given registry. Nil disables collection at the cost of one nil
+	// check per operation.
+	Metrics *obs.Registry
 }
 
 // Connect performs the handshake over conn and returns a ready client.
@@ -134,6 +142,7 @@ func Connect(conn Conn, opts ClientOptions) (*Client, error) {
 	}
 	c.cacheCap = cap
 	c.cs = core.NewClientState(c.id, c.proto, cap)
+	c.met = newClientMetrics(opts.Metrics, c.proto)
 	go c.recvLoop()
 	return c, nil
 }
@@ -237,6 +246,7 @@ func (c *Client) recvLoop() {
 			c.send(c.cs.HandleDeescReq(m))
 			c.mu.Unlock()
 		case core.MAbortYou:
+			c.met.abort()
 			pr := c.pending[m.Req]
 			delete(c.pending, m.Req)
 			// Roll the transaction back right here so subsequent messages
@@ -323,6 +333,7 @@ func (c *Client) reconnect(cause error) Conn {
 			conn.Close()
 			return nil
 		}
+		c.met.reconnect()
 		// Fresh session: new id, cold cache, clean protocol state.
 		c.conn = conn
 		c.id = hello.HelloID
@@ -418,6 +429,7 @@ func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
 	pr := &pendingReq{apply: apply, done: make(chan reqOutcome, 1)}
 	c.pending[m.Req] = pr
 	conn := c.conn
+	start := time.Now()
 	c.send(m)
 	c.mu.Unlock()
 	var out reqOutcome
@@ -437,6 +449,7 @@ func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
 	} else {
 		out = <-pr.done
 	}
+	c.met.rtt(time.Since(start))
 	c.mu.Lock()
 	switch {
 	case timedOut:
@@ -495,6 +508,7 @@ func (t *Txn) Read(o core.ObjID) ([]byte, error) {
 		return nil, err
 	}
 	if m := c.cs.NeedForRead(o); m != nil {
+		c.met.miss()
 		var val []byte
 		err := c.roundTrip(m, func(rep *core.Msg) {
 			// Runs in the receive loop: install the data, record the read,
@@ -508,6 +522,7 @@ func (t *Txn) Read(o core.ObjID) ([]byte, error) {
 		}
 		return val, nil
 	}
+	c.met.hit()
 	c.cs.RecordRead(o)
 	return c.objBytes(o), nil
 }
@@ -531,6 +546,7 @@ func (t *Txn) Write(o core.ObjID, data []byte) error {
 	}
 	c.cs.StartWrite(o)
 	if m := c.cs.NeedForWrite(o); m != nil {
+		c.met.miss()
 		err := c.roundTrip(m, func(rep *core.Msg) {
 			c.applyReply(rep)
 			c.cs.RecordWrite(o)
@@ -538,6 +554,7 @@ func (t *Txn) Write(o core.ObjID, data []byte) error {
 		})
 		return t.finishIfAborted(err)
 	}
+	c.met.hit()
 	c.cs.RecordWrite(o)
 	c.setObjBytes(o, data)
 	return nil
@@ -580,6 +597,7 @@ func (t *Txn) Commit() error {
 		if err != nil {
 			return t.finishIfAborted(err)
 		}
+		c.met.commit()
 		t.done = true
 		c.txn = nil
 		return nil
@@ -590,6 +608,7 @@ func (t *Txn) Commit() error {
 		c.send(&ack)
 		c.cleanupPage(ack.Page)
 	}
+	c.met.commit()
 	t.done = true
 	c.txn = nil
 	return nil
@@ -608,6 +627,7 @@ func (t *Txn) Abort() error {
 		c.send(&am)
 		c.cleanupPage(am.Page)
 	}
+	c.met.abort()
 	t.done = true
 	c.txn = nil
 	return nil

@@ -1,0 +1,217 @@
+package live
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// msgKindLabels names the client->server message kinds for metric labels.
+// Indexed by core.MsgKind (the client-originated prefix of the enum).
+var msgKindLabels = [...]string{
+	core.MReadReq:     "read",
+	core.MWriteReq:    "write",
+	core.MCommitReq:   "commit",
+	core.MAbortReq:    "abort",
+	core.MCallbackAck: "callback-ack",
+	core.MDeescReply:  "deesc-reply",
+}
+
+// serverMetrics holds the live server's instrument handles, resolved once
+// at startup so the hot paths never touch the registry's map (the record
+// path is a few atomic adds).
+type serverMetrics struct {
+	reqs     [len(msgKindLabels)]*obs.Counter
+	handleNs [len(msgKindLabels)]*obs.Histogram
+
+	// Lock waits, measured from the engine's EvBlock to the eventual
+	// EvGrant, split by granted granularity — the live analogue of the
+	// paper's blocking-cost distinction between page and object locks.
+	lockWaitPageNs *obs.Histogram
+	lockWaitObjNs  *obs.Histogram
+
+	callbackFanout *obs.Histogram
+	leaseExpiries  *obs.Counter
+
+	walAppendNs *obs.Histogram
+	walFsyncNs  *obs.Histogram
+	walBytes    *obs.Counter
+	walRecords  *obs.Counter
+
+	checkpointNs *obs.Histogram
+	checkpoints  *obs.Counter
+	flushPages   *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	m := &serverMetrics{}
+	for k, label := range msgKindLabels {
+		m.reqs[k] = reg.Counter(
+			`oodb_server_requests_total{kind="`+label+`"}`,
+			"client requests handled, by message kind")
+		m.handleNs[k] = reg.Histogram(
+			`oodb_server_handle_ns{kind="`+label+`"}`,
+			"request handling latency under the server lock, ns, by message kind")
+	}
+	m.lockWaitPageNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="page"}`,
+		"time blocked requests waited before a grant, ns, by granted granularity")
+	m.lockWaitObjNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="object"}`, "")
+	m.callbackFanout = reg.Histogram("oodb_server_callback_fanout",
+		"clients called back per callback round")
+	m.leaseExpiries = reg.Counter("oodb_server_lease_expiries_total",
+		"sessions disconnected for exceeding the callback deadline")
+	m.walAppendNs = reg.Histogram("oodb_wal_append_ns",
+		"WAL append latency (frame encode + write), ns")
+	m.walFsyncNs = reg.Histogram("oodb_wal_fsync_ns",
+		"WAL fsync latency on commit, ns")
+	m.walBytes = reg.Counter("oodb_wal_appended_bytes_total",
+		"bytes appended to the WAL")
+	m.walRecords = reg.Counter("oodb_wal_records_total",
+		"commit records appended to the WAL")
+	m.checkpointNs = reg.Histogram("oodb_checkpoint_ns",
+		"checkpoint duration (store flush + log truncate), ns")
+	m.checkpoints = reg.Counter("oodb_checkpoints_total", "checkpoints completed")
+	m.flushPages = reg.Counter("oodb_store_flush_pages_total",
+		"dirty pages written by store flushes")
+	return m
+}
+
+// registerServerGauges exposes the server's instantaneous state. Each
+// closure takes s.mu, so the registry must never be collected while the
+// server lock is held (collection happens on admin/monitor goroutines).
+func (s *Server) registerServerGauges(reg *obs.Registry) {
+	locked := func(read func() int64) func() int64 {
+		return func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.closed {
+				return 0
+			}
+			return read()
+		}
+	}
+	reg.FuncGauge("oodb_server_sessions", "attached client sessions",
+		locked(func() int64 { return int64(len(s.sessions)) }))
+	reg.FuncGauge("oodb_server_active_txns", "transactions the engine is tracking",
+		locked(func() int64 { return int64(s.eng.ActiveTxns()) }))
+	reg.FuncGauge("oodb_server_blocked_requests", "requests queued behind locks",
+		locked(func() int64 { return int64(s.eng.BlockedRequests()) }))
+	reg.FuncGauge("oodb_server_open_rounds", "callback rounds in flight",
+		locked(func() int64 { return int64(s.eng.OpenRounds()) }))
+	reg.FuncGauge("oodb_server_locked_pages", "pages with tracked lock state",
+		locked(func() int64 { return int64(s.eng.Locks.LockedPages()) }))
+	reg.FuncGauge("oodb_server_locking_txns", "transactions holding locks",
+		locked(func() int64 { return int64(s.eng.Locks.LockingTxns()) }))
+	reg.FuncGauge("oodb_server_copy_entries", "cached-copy registrations at the server",
+		locked(func() int64 { return int64(s.eng.Copies.CopyCount()) }))
+	reg.FuncGauge("oodb_wal_size_bytes", "current WAL length",
+		locked(func() int64 { return s.wal.Len() }))
+	reg.FuncCounter("oodb_trace_dropped_total",
+		"trace events dropped by the lossy ring", s.tracer.Dropped)
+}
+
+// onEngineTrace receives every protocol event from the engine (under
+// s.mu). It feeds the tracer and turns EvBlock->EvGrant pairs into
+// lock-wait latency observations, keyed by the granted granularity.
+func (s *Server) onEngineTrace(kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
+	switch kind {
+	case obs.EvBlock:
+		if _, ok := s.blockStart[txn]; !ok {
+			s.blockStart[txn] = time.Now()
+		}
+	case obs.EvGrant:
+		if start, ok := s.blockStart[txn]; ok {
+			delete(s.blockStart, txn)
+			wait := time.Since(start).Nanoseconds()
+			if core.GrantLevel(extra) == core.GrantPage {
+				s.metrics.lockWaitPageNs.Observe(wait)
+			} else {
+				s.metrics.lockWaitObjNs.Observe(wait)
+			}
+		}
+	case obs.EvRound:
+		s.metrics.callbackFanout.Observe(extra)
+	case obs.EvCommit, obs.EvAbort, obs.EvDeadlock:
+		delete(s.blockStart, txn)
+	}
+	s.tracer.Emit(kind, int64(txn), int32(client), int32(obj.Page), int32(obj.Slot), extra)
+}
+
+// clientMetrics holds a live client's instrument handles. A nil
+// *clientMetrics (no registry configured) disables collection; every
+// method nil-checks.
+type clientMetrics struct {
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	fetches     *obs.Counter
+	commits     *obs.Counter
+	aborts      *obs.Counter
+	reconnects  *obs.Counter
+	rttNs       *obs.Histogram
+}
+
+// newClientMetrics resolves the client-side instruments. The cache
+// hit/miss counters carry the granularity the protocol caches at (objects
+// under OS, pages otherwise), mirroring the paper's client buffer units.
+func newClientMetrics(reg *obs.Registry, proto core.Protocol) *clientMetrics {
+	if reg == nil {
+		return nil
+	}
+	unit := "page"
+	if proto == core.OS {
+		unit = "object"
+	}
+	return &clientMetrics{
+		cacheHits: reg.Counter(`oodb_client_cache_hits_total{kind="`+unit+`"}`,
+			"reads/writes satisfied from the client cache, by cached unit"),
+		cacheMisses: reg.Counter(`oodb_client_cache_misses_total{kind="`+unit+`"}`,
+			"reads/writes that needed a server round trip, by cached unit"),
+		fetches: reg.Counter("oodb_client_fetches_total",
+			"data/permission fetches sent to the server"),
+		commits: reg.Counter("oodb_client_commits_total", "transactions committed"),
+		aborts: reg.Counter("oodb_client_aborts_total",
+			"transactions aborted (victim notices and voluntary aborts)"),
+		reconnects: reg.Counter("oodb_client_reconnects_total",
+			"successful session re-registrations after a transport error"),
+		rttNs: reg.Histogram("oodb_client_request_rtt_ns",
+			"request round-trip time incl. blocking at the server, ns"),
+	}
+}
+
+func (m *clientMetrics) hit() {
+	if m != nil {
+		m.cacheHits.Inc()
+	}
+}
+
+func (m *clientMetrics) miss() {
+	if m != nil {
+		m.cacheMisses.Inc()
+		m.fetches.Inc()
+	}
+}
+
+func (m *clientMetrics) rtt(d time.Duration) {
+	if m != nil {
+		m.rttNs.Observe(d.Nanoseconds())
+	}
+}
+
+func (m *clientMetrics) commit() {
+	if m != nil {
+		m.commits.Inc()
+	}
+}
+
+func (m *clientMetrics) abort() {
+	if m != nil {
+		m.aborts.Inc()
+	}
+}
+
+func (m *clientMetrics) reconnect() {
+	if m != nil {
+		m.reconnects.Inc()
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // cpCheckpointMid crashes between the store flush and the log truncation —
@@ -36,6 +37,14 @@ type ServerOptions struct {
 	// server declares it dead and disconnects it, so one silent client
 	// cannot stall every writer of a page. 0 disables the deadline.
 	CallbackTimeout time.Duration
+	// Metrics, when set, is the registry the server publishes on; pass a
+	// shared registry to aggregate several processes (e.g. oodbbench runs
+	// server and clients in one registry). Nil: the server makes its own,
+	// reachable via Server.Metrics().
+	Metrics *obs.Registry
+	// TraceBuf sizes the event-trace ring (obs.DefaultTraceBuf if 0).
+	// Tracing starts disabled; switch it on via Server.Tracer().
+	TraceBuf int
 }
 
 // objectStore abstracts the fixed-slot Store and the variable-size VStore.
@@ -49,6 +58,7 @@ type objectStore interface {
 	NumPages() int
 	ObjsPerPage() int
 	ObjSize() int
+	DirtyPages() int
 }
 
 func (o *ServerOptions) defaults() {
@@ -69,6 +79,10 @@ type Server struct {
 	opts   ServerOptions
 	layout *core.Layout
 
+	registry *obs.Registry
+	metrics  *serverMetrics
+	tracer   *obs.Tracer
+
 	mu       sync.Mutex
 	eng      *core.ServerEngine
 	store    objectStore
@@ -77,6 +91,10 @@ type Server struct {
 	nextID   core.ClientID
 	closed   bool
 	failed   error // injected crash that fail-stopped the server
+
+	// blockStart records when each blocked transaction's queued request
+	// first blocked (guarded by mu; feeds the lock-wait histograms).
+	blockStart map[core.TxnID]time.Time
 
 	// Callback-deadline watchdog (nil when CallbackTimeout == 0).
 	watchStop chan struct{}
@@ -209,14 +227,26 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 	wal.SyncOnCommit = opts.SyncWAL
 
 	layout := core.NewLayout(opts.NumPages, opts.ObjsPerPage)
-	s := &Server{
-		opts:     opts,
-		layout:   layout,
-		eng:      core.NewServerEngine(opts.Proto, layout),
-		store:    store,
-		wal:      wal,
-		sessions: make(map[core.ClientID]*session),
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	s := &Server{
+		opts:       opts,
+		layout:     layout,
+		registry:   reg,
+		metrics:    newServerMetrics(reg),
+		tracer:     obs.NewTracer(opts.TraceBuf),
+		eng:        core.NewServerEngine(opts.Proto, layout),
+		store:      store,
+		wal:        wal,
+		sessions:   make(map[core.ClientID]*session),
+		blockStart: make(map[core.TxnID]time.Time),
+	}
+	s.eng.Trace = s.onEngineTrace
+	s.eng.RegisterMetrics(reg)
+	s.registerServerGauges(reg)
+	wal.metrics = s.metrics
 	if opts.CallbackTimeout > 0 {
 		s.watchStop = make(chan struct{})
 		s.watchDone = make(chan struct{})
@@ -259,6 +289,8 @@ func (s *Server) watchdog() {
 		}
 		s.mu.Unlock()
 		for _, id := range dead {
+			s.metrics.leaseExpiries.Inc()
+			s.tracer.Emit(obs.EvLeaseExpiry, 0, int32(id), 0, 0, 0)
 			s.detach(id)
 		}
 	}
@@ -292,10 +324,16 @@ func (s *Server) Sessions() int {
 
 // Stats returns a snapshot of the protocol engine statistics.
 func (s *Server) Stats() core.ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Stats
+	return s.eng.Stats.Snapshot()
 }
+
+// Metrics returns the server's metrics registry. Collection (WriteHuman,
+// WritePrometheus) must not run while holding the server lock: the
+// instantaneous gauges take it.
+func (s *Server) Metrics() *obs.Registry { return s.registry }
+
+// Tracer returns the server's event tracer (disabled until SetEnabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Attach registers a new client session over conn and starts serving it.
 // It returns the client id assigned to the session.
@@ -358,6 +396,16 @@ func (s *Server) serve(sess *session) {
 // handle runs one message through the engine under the server lock and
 // dispatches the responses.
 func (s *Server) handle(m *core.Msg) {
+	kind := int(m.Kind)
+	if kind < len(msgKindLabels) {
+		s.metrics.reqs[kind].Inc()
+	}
+	start := time.Now()
+	defer func() {
+		if kind < len(msgKindLabels) {
+			s.metrics.handleNs[kind].Observe(time.Since(start).Nanoseconds())
+		}
+	}()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -506,12 +554,15 @@ func (s *Server) Checkpoint() error {
 		}
 		return fmt.Errorf("live: server closed")
 	}
+	start := time.Now()
+	dirty := s.store.DirtyPages()
 	if err := s.store.Flush(); err != nil {
 		if fault.IsCrash(err) {
 			s.crashLocked(err)
 		}
 		return err
 	}
+	s.metrics.flushPages.Add(int64(dirty))
 	if err := cpCheckpointMid.Check(); err != nil {
 		s.crashLocked(err)
 		return err
@@ -522,6 +573,8 @@ func (s *Server) Checkpoint() error {
 		}
 		return err
 	}
+	s.metrics.checkpointNs.Observe(time.Since(start).Nanoseconds())
+	s.metrics.checkpoints.Inc()
 	return nil
 }
 

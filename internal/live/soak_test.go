@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TestRandomizedSoak hammers a live server with concurrent clients doing
@@ -22,6 +23,10 @@ func TestRandomizedSoak(t *testing.T) {
 		t.Run(proto.String(), func(t *testing.T) {
 			srv, _ := testServer(t, proto)
 			defer srv.Close()
+			// Soak with tracing on: the ring gives a protocol-level
+			// post-mortem when the audit finds a lost update, and doubles
+			// as a race test of the tracer against real traffic.
+			srv.Tracer().SetEnabled(true)
 
 			const (
 				clients  = 5
@@ -108,7 +113,9 @@ func TestRandomizedSoak(t *testing.T) {
 					}
 					want := committed[obj]
 					if v := binary.LittleEndian.Uint32(got[:4]); v != want {
-						t.Fatalf("object %v = %d, want %d (lost/phantom updates)", obj, v, want)
+						t.Fatalf("object %v = %d, want %d (lost/phantom updates)\nlast protocol events for page %d:\n%s",
+							obj, v, want, obj.Page,
+							obs.FormatEvents(srv.Tracer().ForPage(int32(obj.Page), 50)))
 					}
 				}
 			}

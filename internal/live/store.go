@@ -233,6 +233,17 @@ func (s *Store) Flush() error {
 	return s.f.Sync()
 }
 
+// DirtyPages returns how many pages are dirty in memory (unflushed).
+func (s *Store) DirtyPages() int {
+	n := 0
+	for _, d := range s.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
 // Close flushes and closes the store.
 func (s *Store) Close() error {
 	if err := s.Flush(); err != nil {

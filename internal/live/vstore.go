@@ -505,6 +505,17 @@ func (s *VStore) WriteObj(o core.ObjID, data []byte) error {
 // ObjSize reports the maximum object size (the advertised write limit).
 func (s *VStore) ObjSize() int { return s.MaxObjSize() }
 
+// DirtyPages returns how many pages are dirty in memory (unflushed).
+func (s *VStore) DirtyPages() int {
+	n := 0
+	for _, d := range s.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
 // Close flushes and closes.
 func (s *VStore) Close() error {
 	if err := s.Flush(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -50,7 +51,12 @@ type WAL struct {
 	// SyncOnCommit forces an fsync per appended record (durable but slow;
 	// tests turn it off).
 	SyncOnCommit bool
+	// metrics, when set, observes append/fsync latency and log growth.
+	metrics *serverMetrics
 }
+
+// Len returns the current log length in bytes (the append offset).
+func (w *WAL) Len() int64 { return w.off }
 
 // OpenWAL opens (or creates) the log at path, positioned for appending
 // after the last valid record. It returns the records found by that scan
@@ -76,6 +82,7 @@ func (w *WAL) Append(rec *walRecord) error {
 	if err := cpWALPreFrame.Check(); err != nil {
 		return err
 	}
+	start := time.Now()
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
 		return err
@@ -94,14 +101,23 @@ func (w *WAL) Append(rec *walRecord) error {
 		return err
 	}
 	w.off += int64(len(frame))
+	if w.metrics != nil {
+		w.metrics.walAppendNs.Observe(time.Since(start).Nanoseconds())
+		w.metrics.walBytes.Add(int64(len(frame)))
+		w.metrics.walRecords.Inc()
+	}
 	if err := cpWALPreSync.Check(); err != nil {
 		return err
 	}
 	if w.SyncOnCommit {
+		syncStart := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
 		w.synced = w.off
+		if w.metrics != nil {
+			w.metrics.walFsyncNs.Observe(time.Since(syncStart).Nanoseconds())
+		}
 	}
 	return nil
 }

@@ -22,15 +22,15 @@ func TestPSUniformStall(t *testing.T) {
 	for tm := 10.0; tm <= 150; tm += 10 {
 		sys.eng.Run(tm)
 		se := sys.server.eng
-		if se.Stats.Commits == last {
-			t.Logf("STALLED at t=%.0f: commits=%d events=%d", tm, se.Stats.Commits, sys.eng.Pending())
+		if se.Stats.Commits.Load() == last {
+			t.Logf("STALLED at t=%.0f: commits=%d events=%d", tm, se.Stats.Commits.Load(), sys.eng.Pending())
 			t.Logf("state:\n%s", se.DumpState())
 			for _, cl := range sys.client {
 				t.Logf("client %d: txn=%d pendingCB=%d mbox=%d", cl.id, cl.cs.Txn, cl.cs.PendingCallbacks(), cl.mbox.Len())
 			}
 			return
 		}
-		last = se.Stats.Commits
+		last = se.Stats.Commits.Load()
 	}
 	t.Logf("no stall: commits=%d", last)
 }

@@ -14,16 +14,16 @@ func TestPSDebugState(t *testing.T) {
 	sys.eng.Run(5)
 	se := sys.server.eng
 	t.Logf("t=5s: txns=%d blockedReqs=%d rounds=%d commits(server)=%d locks empty=%v",
-		se.ActiveTxns(), se.BlockedRequests(), se.OpenRounds(), se.Stats.Commits, se.Locks.Empty())
+		se.ActiveTxns(), se.BlockedRequests(), se.OpenRounds(), se.Stats.Commits.Load(), se.Locks.Empty())
 	t.Logf("stats: reads=%d writes=%d callbacks=%d busy=%d deadlocks=%d aborts=%d blocks=%d",
-		se.Stats.ReadReqs, se.Stats.WriteReqs, se.Stats.Callbacks, se.Stats.BusyReplies,
-		se.Stats.Deadlocks, se.Stats.Aborts, se.Stats.Blocks)
+		se.Stats.ReadReqs.Load(), se.Stats.WriteReqs.Load(), se.Stats.Callbacks.Load(), se.Stats.BusyReplies.Load(),
+		se.Stats.Deadlocks.Load(), se.Stats.Aborts.Load(), se.Stats.Blocks.Load())
 	t.Logf("engine: pending events=%d procs=%d", sys.eng.Pending(), sys.eng.Procs())
 	for _, cl := range sys.client {
 		t.Logf("client %d: txn=%d pendingCB=%d mbox=%d cacheLen=%d",
 			cl.id, cl.cs.Txn, cl.cs.PendingCallbacks(), cl.mbox.Len(), cl.cs.Cache.Len())
 	}
-	if se.Stats.Commits == 0 && se.Stats.ReadReqs > 0 {
+	if se.Stats.Commits.Load() == 0 && se.Stats.ReadReqs.Load() > 0 {
 		t.Log("STALL CONFIRMED")
 	}
 	t.Logf("server state:\n%s", se.DumpState())

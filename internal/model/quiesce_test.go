@@ -35,7 +35,7 @@ func TestDrainLeavesServerQuiesced(t *testing.T) {
 			if !se.Quiesced() {
 				t.Fatalf("server not quiesced:\n%s", se.DumpState())
 			}
-			if got := int(se.Stats.Commits); got > 6*40 {
+			if got := int(se.Stats.Commits.Load()); got > 6*40 {
 				t.Fatalf("server saw %d commits, more than the %d issued", got, 6*40)
 			}
 			// Every client's cache must be consistent with the copy table:

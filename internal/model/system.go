@@ -184,7 +184,7 @@ func (sys *system) finish() {
 		r.MsgsPerCommit = float64(r.Messages) / float64(r.Commits)
 	}
 
-	st := sys.server.eng.Stats
+	st := sys.server.eng.Stats.Snapshot()
 	r.Deadlocks = st.Deadlocks
 	r.Callbacks = st.Callbacks
 	r.BusyReplies = st.BusyReplies

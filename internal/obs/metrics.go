@@ -1,0 +1,490 @@
+// Package obs is the observability core shared by the live system and the
+// simulator: a dependency-free (stdlib-only), allocation-conscious metrics
+// registry plus a lossy ring-buffered event tracer.
+//
+// Design constraints, in order:
+//
+//   - The record path takes no locks. Counters and histogram buckets are
+//     plain atomics; a histogram observation touches one bucket pair (its
+//     latency class), so concurrent recorders shard naturally across
+//     buckets instead of piling onto one hot word. Each bucket pair is
+//     padded to its own cache line.
+//   - Registration is rare and may lock. Registering the same name twice
+//     returns the same metric, so independent components (many clients
+//     sharing one registry, a reopened server) can look handles up by
+//     name without coordination.
+//   - Exposition is hand-rolled Prometheus text format (plus a human
+//     format with quantiles) with stable, sorted ordering.
+//
+// Metric names follow Prometheus conventions (`oodb_..._total` for
+// counters, unit suffix `_ns`/`_bytes` where applicable) and may carry a
+// fixed label block, e.g. `oodb_server_requests_total{kind="read"}`; the
+// text before `{` is the metric family, and all series of one family are
+// emitted under a single TYPE header.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The padding keeps
+// hot counters registered back-to-back off each other's cache lines.
+type Counter struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of log2 latency classes a histogram tracks.
+// Bucket i holds observations v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i); bucket 0 holds v <= 0. int64 observations never exceed
+// bucket 63.
+const HistBuckets = 64
+
+// histBucket is one latency class: observation count and value sum,
+// padded to a cache line so concurrent recorders in different classes
+// never share a line.
+type histBucket struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	_     [48]byte
+}
+
+// Histogram is a lock-free log2-bucketed histogram. Recording is one
+// bucket-index computation and two atomic adds on the bucket (plus a
+// rarely-taken CAS to advance the max); there is no global count or sum
+// word, so contended recording shards across latency classes.
+type Histogram struct {
+	buckets [HistBuckets]histBucket
+	max     atomic.Int64
+}
+
+// bucketIndex returns the latency class of v.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (2^i - 1; the
+// lowest bucket is "<= 0").
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	b := &h.buckets[bucketIndex(v)]
+	b.count.Add(1)
+	b.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m {
+			return
+		}
+		if h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a consistent-enough read of a histogram (each word is
+// read atomically; the set is not a single atomic cut, which is fine for
+// monitoring).
+type HistSnapshot struct {
+	Count  int64
+	Sum    int64
+	Max    int64
+	Counts [HistBuckets]int64
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].count.Load()
+		s.Counts[i] = c
+		s.Count += c
+		s.Sum += h.buckets[i].sum.Load()
+	}
+	s.Max = h.max.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// it returns the upper bound of the bucket where the cumulative count
+// crosses q*Count, clamped to the observed max. Zero observations yield 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Counts[i]
+		if cum >= target {
+			u := BucketUpper(i)
+			if s.Max > 0 && u > s.Max {
+				u = s.Max
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// metricKind discriminates the registry's name space.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindFuncCounter
+	kindGauge
+	kindFuncGauge
+	kindHistogram
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindFuncCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "gauge"
+}
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// the registry lock covers registration and collection only, never the
+// record path.
+type Registry struct {
+	mu           sync.Mutex
+	kinds        map[string]metricKind // full series name -> kind
+	counters     map[string]*Counter
+	funcCounters map[string][]func() int64 // summed at collection
+	gauges       map[string]*Gauge
+	funcGauges   map[string]func() int64
+	hists        map[string]*Histogram
+	help         map[string]string // family -> help text (first registration wins)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:        make(map[string]metricKind),
+		counters:     make(map[string]*Counter),
+		funcCounters: make(map[string][]func() int64),
+		gauges:       make(map[string]*Gauge),
+		funcGauges:   make(map[string]func() int64),
+		hists:        make(map[string]*Histogram),
+		help:         make(map[string]string),
+	}
+}
+
+// family returns the metric family of a series name (the part before any
+// label block).
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func (r *Registry) register(name, help string, kind metricKind) {
+	if k, ok := r.kinds[name]; ok {
+		if k != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+	} else {
+		r.kinds[name] = kind
+	}
+	fam := family(name)
+	if _, ok := r.help[fam]; !ok && help != "" {
+		r.help[fam] = help
+	}
+}
+
+// Counter registers (or looks up) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindCounter)
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// FuncCounter registers a counter whose value is read from fn at
+// collection time — the bridge for components that already keep their own
+// atomic counts (e.g. the protocol engine). Registering several functions
+// under one name sums them.
+func (r *Registry) FuncCounter(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindFuncCounter)
+	r.funcCounters[name] = append(r.funcCounters[name], fn)
+}
+
+// Gauge registers (or looks up) a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindGauge)
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FuncGauge registers a gauge whose value is read from fn at collection
+// time. Re-registration replaces the function (a reopened server takes
+// over its gauges).
+func (r *Registry) FuncGauge(name, help string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindFuncGauge)
+	r.funcGauges[name] = fn
+}
+
+// Histogram registers (or looks up) a histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name, help, kindHistogram)
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the current value of a counter series (owned or
+// func-backed), or 0 if the name is unknown.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	c := r.counters[name]
+	fns := r.funcCounters[name]
+	r.mu.Unlock()
+	var v int64
+	if c != nil {
+		v += c.Value()
+	}
+	for _, fn := range fns {
+		v += fn()
+	}
+	return v
+}
+
+// HistogramSnapshot returns a snapshot of a histogram series (zero-valued
+// if the name is unknown).
+func (r *Registry) HistogramSnapshot(name string) HistSnapshot {
+	r.mu.Lock()
+	h := r.hists[name]
+	r.mu.Unlock()
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return h.Snapshot()
+}
+
+// sortedNames returns all registered series names, sorted.
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.kinds))
+	for n := range r.kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// spliceLabel inserts `extra` (e.g. `le="255"`) into the label block of a
+// series name built from base+suffix: name{a="b"} -> base_suffix{a="b",extra}.
+func spliceLabel(name, suffix, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + "{" + name[i+1:len(name)-1] + "," + extra + "}"
+	}
+	return name + suffix + "{" + extra + "}"
+}
+
+// seriesName appends a suffix to the family part of a series name,
+// preserving its label block.
+func seriesName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// WritePrometheus writes every metric in Prometheus text exposition
+// format. Families are sorted by name, series within a family by full
+// name; the ordering is stable across calls. Histograms emit cumulative
+// `_bucket` series (only classes that hold observations, plus +Inf),
+// `_sum`, and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lastFam string
+	for _, name := range r.sortedNames() {
+		kind := r.kinds[name]
+		fam := family(name)
+		if fam != lastFam {
+			lastFam = fam
+			if help := r.help[fam]; help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind.promType()); err != nil {
+				return err
+			}
+		}
+		switch kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value()); err != nil {
+				return err
+			}
+		case kindFuncCounter:
+			var v int64
+			for _, fn := range r.funcCounters[name] {
+				v += fn()
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, v); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, r.gauges[name].Value()); err != nil {
+				return err
+			}
+		case kindFuncGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, r.funcGauges[name]()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			s := r.hists[name].Snapshot()
+			var cum int64
+			for i := 0; i < HistBuckets; i++ {
+				if s.Counts[i] == 0 {
+					continue
+				}
+				cum += s.Counts[i]
+				le := fmt.Sprintf(`le="%d"`, BucketUpper(i))
+				if _, err := fmt.Fprintf(w, "%s %d\n", spliceLabel(name, "_bucket", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", spliceLabel(name, "_bucket", `le="+Inf"`), s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, "_sum"), s.Sum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name, "_count"), s.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteHuman writes a human-readable snapshot: counters and gauges one
+// per line, histograms with count/mean/p50/p90/p99/max. Zero-valued
+// series are skipped so small runs stay readable.
+func (r *Registry) WriteHuman(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.sortedNames() {
+		switch r.kinds[name] {
+		case kindCounter:
+			if v := r.counters[name].Value(); v != 0 {
+				if _, err := fmt.Fprintf(w, "%-58s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+		case kindFuncCounter:
+			var v int64
+			for _, fn := range r.funcCounters[name] {
+				v += fn()
+			}
+			if v != 0 {
+				if _, err := fmt.Fprintf(w, "%-58s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+		case kindGauge:
+			if v := r.gauges[name].Value(); v != 0 {
+				if _, err := fmt.Fprintf(w, "%-58s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+		case kindFuncGauge:
+			if v := r.funcGauges[name](); v != 0 {
+				if _, err := fmt.Fprintf(w, "%-58s %d\n", name, v); err != nil {
+					return err
+				}
+			}
+		case kindHistogram:
+			s := r.hists[name].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%-58s count=%d mean=%.0f p50=%d p90=%d p99=%d max=%d\n",
+				name, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

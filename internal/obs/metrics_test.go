@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the log2 bucket layout: bucket i
+// covers [2^(i-1), 2^i - 1], bucket 0 covers v <= 0.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 20, 21}, {1<<62 + 1, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bounds contain it.
+	for _, v := range []int64{1, 3, 9, 100, 4096, 1 << 40} {
+		i := bucketIndex(v)
+		if v > BucketUpper(i) {
+			t.Errorf("value %d above its bucket %d upper bound %d", v, i, BucketUpper(i))
+		}
+		if i > 0 && v <= BucketUpper(i-1) {
+			t.Errorf("value %d not above bucket %d upper bound %d", v, i-1, BucketUpper(i-1))
+		}
+	}
+	if BucketUpper(0) != 0 || BucketUpper(1) != 1 || BucketUpper(8) != 255 {
+		t.Fatalf("BucketUpper layout changed: %d %d %d", BucketUpper(0), BucketUpper(1), BucketUpper(8))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations (value 100 -> bucket 7, upper 127) and 10 slow
+	// (value 10000 -> bucket 14, upper 16383).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 90*100+10*10000 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if s.Max != 10000 {
+		t.Fatalf("max=%d", s.Max)
+	}
+	if q := s.Quantile(0.50); q != 127 {
+		t.Errorf("p50 = %d, want 127 (upper bound of the fast bucket)", q)
+	}
+	if q := s.Quantile(0.90); q != 127 {
+		t.Errorf("p90 = %d, want 127", q)
+	}
+	// p99 falls in the slow bucket; the estimate clamps to the observed max.
+	if q := s.Quantile(0.99); q != 10000 {
+		t.Errorf("p99 = %d, want 10000 (clamped to max)", q)
+	}
+	if q := s.Quantile(1.0); q != 10000 {
+		t.Errorf("p100 = %d, want 10000", q)
+	}
+
+	var empty Histogram
+	if q := empty.Snapshot().Quantile(0.99); q != 0 {
+		t.Errorf("empty histogram p99 = %d, want 0", q)
+	}
+}
+
+// TestConcurrentRecording hammers one counter and one histogram from many
+// goroutines (meaningful under -race) and checks nothing is lost.
+func TestConcurrentRecording(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test counter")
+	h := reg.Histogram("h_ns", "test histogram")
+	g := reg.Gauge("g", "test gauge")
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(w*1000 + i))
+				g.Set(int64(i))
+				if i%512 == 0 {
+					// Concurrent collection must be safe too.
+					var b bytes.Buffer
+					reg.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d != %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram lost updates: %d != %d", s.Count, workers*perWorker)
+	}
+	var wantSum int64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			wantSum += int64(w*1000 + i)
+		}
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("histogram sum %d != %d", s.Sum, wantSum)
+	}
+}
+
+// TestRegistryLookupIdempotent: registering a name twice returns the same
+// metric (the sharing mechanism for clients on one registry).
+func TestRegistryLookupIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "x")
+	b := reg.Counter("x_total", "")
+	if a != b {
+		t.Fatal("Counter not idempotent")
+	}
+	h1 := reg.Histogram(`h{kind="a"}`, "h")
+	h2 := reg.Histogram(`h{kind="a"}`, "h")
+	if h1 != h2 {
+		t.Fatal("Histogram not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind re-registration did not panic")
+		}
+	}()
+	reg.Histogram("x_total", "now a histogram")
+}
+
+// promLine matches a Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+)$`)
+
+// TestPrometheusOutputParsesAndIsStable checks /metrics output line by
+// line against the exposition grammar and verifies stable ordering.
+func TestPrometheusOutputParsesAndIsStable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`oodb_server_requests_total{kind="read"}`, "requests by kind").Add(7)
+	reg.Counter(`oodb_server_requests_total{kind="write"}`, "").Add(3)
+	reg.FuncCounter("oodb_engine_commits_total", "commits", func() int64 { return 42 })
+	reg.FuncGauge("oodb_server_sessions", "sessions", func() int64 { return 5 })
+	h := reg.Histogram(`oodb_wal_fsync_ns`, "fsync latency")
+	h.Observe(900)
+	h.Observe(1100)
+	hl := reg.Histogram(`oodb_server_handle_ns{kind="read"}`, "handle latency")
+	hl.Observe(50)
+
+	var out1, out2 bytes.Buffer
+	if err := reg.WritePrometheus(&out1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("output not stable:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+
+	types := map[string]string{}
+	var lastSample string
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(out1.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, dup := types[f[2]]; dup {
+				t.Fatalf("family %s has two TYPE lines", f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			// Histogram +Inf buckets are the only non-integer-label lines.
+			if !strings.Contains(line, `le="+Inf"`) {
+				t.Fatalf("unparseable line %q", line)
+			}
+			continue
+		}
+		samples++
+		// Histogram bucket series order by numeric le (+Inf last), not
+		// lexically; exempt them from the lexical-order check.
+		if !strings.Contains(m[1], "_bucket") {
+			if lastSample != "" && line < lastSample && family(m[1]) == family(lastSample) {
+				t.Errorf("series out of order within family: %q after %q", line, lastSample)
+			}
+			lastSample = line
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples emitted")
+	}
+	// Spot-check: histogram bucket counts are cumulative and end at _count.
+	text := out1.String()
+	if !strings.Contains(text, `oodb_wal_fsync_ns_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, "oodb_wal_fsync_ns_sum 2000") {
+		t.Errorf("missing histogram sum:\n%s", text)
+	}
+	if !strings.Contains(text, "oodb_wal_fsync_ns_count 2") {
+		t.Errorf("missing histogram count:\n%s", text)
+	}
+	if !strings.Contains(text, `oodb_server_handle_ns_bucket{kind="read",le="+Inf"} 1`) {
+		t.Errorf("labelled histogram bucket splice wrong:\n%s", text)
+	}
+	if !strings.Contains(text, `oodb_server_handle_ns_sum{kind="read"} 50`) {
+		t.Errorf("labelled histogram sum wrong:\n%s", text)
+	}
+	// Cumulative check for the two-bucket fsync histogram: 900 -> le 1023,
+	// 1100 -> le 2047; cumulative 1 then 2.
+	if !strings.Contains(text, `oodb_wal_fsync_ns_bucket{le="1023"} 1`) ||
+		!strings.Contains(text, `oodb_wal_fsync_ns_bucket{le="2047"} 2`) {
+		t.Errorf("cumulative buckets wrong:\n%s", text)
+	}
+}
+
+func TestCounterValueAndHuman(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "a").Add(5)
+	reg.FuncCounter("b_total", "b", func() int64 { return 2 })
+	reg.FuncCounter("b_total", "b", func() int64 { return 3 })
+	if v := reg.CounterValue("a_total"); v != 5 {
+		t.Fatalf("a_total = %d", v)
+	}
+	if v := reg.CounterValue("b_total"); v != 5 {
+		t.Fatalf("b_total (summed funcs) = %d", v)
+	}
+	if v := reg.CounterValue("missing"); v != 0 {
+		t.Fatalf("missing = %d", v)
+	}
+	h := reg.Histogram("lat_ns", "latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	var b bytes.Buffer
+	if err := reg.WriteHuman(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"a_total", "b_total", "lat_ns", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("human output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramMeanLargeValues guards the sum arithmetic for big
+// nanosecond values.
+func TestHistogramMeanLargeValues(t *testing.T) {
+	var h Histogram
+	const v = int64(3e12)
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); got != float64(v) {
+		t.Fatalf("mean = %v, want %v", got, float64(v))
+	}
+	if s.Quantile(0.5) != v {
+		t.Fatalf("p50 = %d (max clamp failed)", s.Quantile(0.5))
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	_ = c.Value()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			h.Observe(v)
+			v = v*31 + 7
+		}
+	})
+}
+
+func BenchmarkTracerDisabled(b *testing.B) {
+	tr := NewTracer(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvGrant, int64(i), 1, 2, 3, 0)
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	reg := NewRegistry()
+	reg.Counter("example_total", "an example").Add(1)
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total an example
+	// # TYPE example_total counter
+	// example_total 1
+}

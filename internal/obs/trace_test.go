@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(EvBegin, 1, 1, 0, 0, 0)
+	if got := tr.Last(0); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(got))
+	}
+	if tr.Seq() != 0 {
+		t.Fatalf("seq = %d", tr.Seq())
+	}
+}
+
+func TestTracerRingAndFilters(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetEnabled(true)
+	for i := 0; i < 20; i++ {
+		tr.Emit(EvCommit, int64(100+i%3), int32(i), int32(i%4), 0, 0)
+	}
+	all := tr.Last(0)
+	if len(all) != 8 {
+		t.Fatalf("retained %d events, want ring size 8", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq != all[i-1].Seq+1 {
+			t.Fatalf("events out of order: %d then %d", all[i-1].Seq, all[i].Seq)
+		}
+	}
+	if all[len(all)-1].Seq != 19 {
+		t.Fatalf("newest seq = %d, want 19", all[len(all)-1].Seq)
+	}
+	if got := tr.Last(3); len(got) != 3 || got[2].Seq != 19 {
+		t.Fatalf("Last(3) wrong: %+v", got)
+	}
+	for _, e := range tr.ForTxn(101, 0) {
+		if e.Txn != 101 {
+			t.Fatalf("ForTxn leaked txn %d", e.Txn)
+		}
+	}
+	for _, e := range tr.ForPage(2, 0) {
+		if e.Page != 2 {
+			t.Fatalf("ForPage leaked page %d", e.Page)
+		}
+	}
+}
+
+// TestTracerJSONL checks each line is valid JSON with the expected keys.
+func TestTracerJSONL(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetEnabled(true)
+	tr.Emit(EvLockReq, 7, 2, 5, 1, 1)
+	tr.Emit(EvGrant, 7, 2, 5, 1, 2)
+	tr.Emit(EvCommit, 8, 3, 0, 0, 0)
+
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		for _, key := range []string{"seq", "at_ns", "kind", "txn", "client", "page", "slot", "extra"} {
+			if _, ok := m[key]; !ok {
+				t.Fatalf("line %q missing key %q", line, key)
+			}
+		}
+	}
+	// Txn filter.
+	b.Reset()
+	if err := tr.WriteJSONL(&b, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 2 {
+		t.Fatalf("txn filter kept %d lines, want 2", got)
+	}
+	if strings.Contains(b.String(), `"txn":8`) {
+		t.Fatal("txn filter leaked txn 8")
+	}
+}
+
+// TestTracerConcurrent drives the tracer from many goroutines under
+// -race; every event is either recorded or counted as dropped.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.SetEnabled(true)
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit(EvCallback, int64(w), int32(i), 0, 0, 0)
+				if i%1000 == 0 {
+					tr.Last(4)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := int64(tr.Seq()) + tr.Dropped(); got != workers*perWorker {
+		t.Fatalf("recorded %d + dropped %d != emitted %d", tr.Seq(), tr.Dropped(), workers*perWorker)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvNone; k <= EvLeaseExpiry; k++ {
+		if s := k.String(); s == "EventKind(?)" || s == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

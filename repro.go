@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -90,6 +91,25 @@ type RetryPolicy = live.RetryPolicy
 // Conn is the client<->server transport interface.
 type Conn = live.Conn
 
+// MetricsRegistry is the process-wide metrics registry type (see
+// internal/obs): atomic counters, gauges, and log-bucketed latency
+// histograms with Prometheus text exposition.
+type MetricsRegistry = obs.Registry
+
+// Tracer is the structured protocol-event tracer (see internal/obs).
+type Tracer = obs.Tracer
+
+// NewMetricsRegistry returns an empty registry, e.g. to share between a
+// server and its clients so one scrape covers both sides.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeAdmin starts the observability HTTP endpoint for srv on addr
+// (/metrics, /statusz, /trace, /debug/pprof/*). Close the returned
+// handle to stop it.
+func ServeAdmin(srv *Server, addr string) (*live.AdminServer, error) {
+	return live.ServeAdmin(srv, addr)
+}
+
 // OpenServer opens (creating and recovering as needed) a database
 // directory and returns the server.
 func OpenServer(dir string, opts ServerOptions) (*Server, error) {
@@ -135,6 +155,9 @@ type ClusterOptions struct {
 	// CallbackTimeout deposes clients that leave a consistency callback
 	// unanswered this long (0: wait forever). See ServerOptions.
 	CallbackTimeout time.Duration
+	// Metrics, when set, aggregates server and client metrics in one
+	// registry (the server creates its own otherwise).
+	Metrics *MetricsRegistry
 }
 
 // Cluster is an in-process server with a set of attached clients —
@@ -143,6 +166,7 @@ type ClusterOptions struct {
 type Cluster struct {
 	srv     *live.Server
 	clients []*live.Client
+	metrics *MetricsRegistry // shared registry passed to attached clients (may be nil)
 }
 
 // NewCluster opens a server in dir and attaches the requested clients via
@@ -157,23 +181,17 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL,
 		VariableObjects: opts.VariableObjects,
 		CallbackTimeout: opts.CallbackTimeout,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cl := &Cluster{srv: srv}
+	cl := &Cluster{srv: srv, metrics: opts.Metrics}
 	for i := 0; i < n; i++ {
-		cEnd, sEnd := live.Pipe()
-		if _, err := srv.Attach(sEnd); err != nil {
+		if _, err := cl.AttachClient(); err != nil {
 			cl.Close()
 			return nil, err
 		}
-		c, err := live.Connect(cEnd, live.ClientOptions{})
-		if err != nil {
-			cl.Close()
-			return nil, err
-		}
-		cl.clients = append(cl.clients, c)
 	}
 	return cl, nil
 }
@@ -198,7 +216,7 @@ func (c *Cluster) AttachClient() (*Client, error) {
 	if _, err := c.srv.Attach(sEnd); err != nil {
 		return nil, err
 	}
-	cli, err := live.Connect(cEnd, live.ClientOptions{})
+	cli, err := live.Connect(cEnd, live.ClientOptions{Metrics: c.metrics})
 	if err != nil {
 		return nil, err
 	}
