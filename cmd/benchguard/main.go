@@ -1,10 +1,16 @@
 // Command benchguard compares `go test -bench -benchmem` output on stdin
-// against the latest recorded baseline in BENCH_figures.json and exits
-// non-zero if any benchmark's allocs/op regressed by more than the
-// allowed percentage. CI uses it to keep the simulator's hot path
-// allocation-free growth honest:
+// against the latest recorded baseline in a benchjson file and exits
+// non-zero on regression. CI uses it to keep the simulator's hot path
+// allocation-free growth honest, and the live data plane's throughput
+// guarded:
 //
 //	go test -bench Fig03 -benchmem -run '^$' . | benchguard -baseline BENCH_figures.json -max-regress 5
+//	go test -bench Wire -benchmem -run '^$' ./internal/live/ | benchguard -baseline BENCH_live.json -max-regress 5 -max-slower 40
+//
+// -max-regress bounds the allocs/op increase (allocation counts are
+// deterministic, so the tolerance is tight). -max-slower bounds the
+// ns/op increase; 0 disables it (wall-clock is noisy across CI hosts, so
+// callers opt in with a loose bound).
 package main
 
 import (
@@ -17,8 +23,8 @@ import (
 	"strings"
 )
 
-// benchFile mirrors the slice of BENCH_figures.json that benchguard reads:
-// runs, each optionally carrying a benchmarks map.
+// benchFile mirrors the slice of the benchjson file that benchguard
+// reads: runs, each optionally carrying a benchmarks map.
 type benchFile struct {
 	Runs []struct {
 		Timestamp  string `json:"timestamp"`
@@ -30,9 +36,16 @@ type benchFile struct {
 	} `json:"runs"`
 }
 
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	nsPerOp float64
+	allocs  float64 // -1 when the line had no -benchmem columns
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_figures.json", "baseline file")
 	maxRegress := flag.Float64("max-regress", 5.0, "max allowed allocs/op regression, percent")
+	maxSlower := flag.Float64("max-slower", 0, "max allowed ns/op regression, percent (0 disables)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -43,14 +56,16 @@ func main() {
 	if err := json.Unmarshal(raw, &bf); err != nil {
 		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
 	}
-	// Latest run that recorded benchmarks wins.
-	baseline := map[string]float64{}
+	// Latest run that recorded a given benchmark wins.
+	baseAllocs := map[string]float64{}
+	baseNs := map[string]float64{}
 	for _, run := range bf.Runs {
 		for name, b := range run.Benchmarks {
-			baseline[name] = b.AllocsPerOp
+			baseAllocs[name] = b.AllocsPerOp
+			baseNs[name] = b.NsPerOp
 		}
 	}
-	if len(baseline) == 0 {
+	if len(baseAllocs) == 0 {
 		fatal(fmt.Errorf("no benchmark baselines in %s", *baselinePath))
 	}
 
@@ -63,23 +78,39 @@ func main() {
 	}
 
 	failed := false
-	for name, allocs := range current {
-		base, ok := baseline[name]
+	for name, m := range current {
+		base, ok := baseAllocs[name]
 		if !ok {
-			fmt.Printf("benchguard: %s: no baseline, skipping (%.0f allocs/op now)\n", name, allocs)
+			fmt.Printf("benchguard: %s: no baseline, skipping (%.0f allocs/op now)\n", name, m.allocs)
 			continue
 		}
-		deltaPct := (allocs - base) / base * 100
-		status := "ok"
-		if deltaPct > *maxRegress {
-			status = "FAIL"
-			failed = true
+		if m.allocs >= 0 {
+			deltaPct := (m.allocs - base) / base * 100
+			status := "ok"
+			if deltaPct > *maxRegress {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("benchguard: %-50s %10.0f allocs/op (baseline %.0f, %+.2f%%) %s\n",
+				name, m.allocs, base, deltaPct, status)
 		}
-		fmt.Printf("benchguard: %-40s %10.0f allocs/op (baseline %.0f, %+.2f%%) %s\n",
-			name, allocs, base, deltaPct, status)
+		if *maxSlower > 0 {
+			if bns := baseNs[name]; bns > 0 && m.nsPerOp > 0 {
+				deltaPct := (m.nsPerOp - bns) / bns * 100
+				status := "ok"
+				if deltaPct > *maxSlower {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("benchguard: %-50s %10.0f ns/op     (baseline %.0f, %+.2f%%) %s\n",
+					name, m.nsPerOp, bns, deltaPct, status)
+			}
+		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: allocs/op regressed more than %.1f%%\n", *maxRegress)
+		fmt.Fprintf(os.Stderr,
+			"benchguard: regression beyond allowed bounds (allocs/op > %.1f%% or ns/op > %.1f%%)\n",
+			*maxRegress, *maxSlower)
 		os.Exit(1)
 	}
 }
@@ -87,8 +118,8 @@ func main() {
 // parseBenchOutput extracts "BenchmarkName-N  iters  X ns/op  Y B/op  Z
 // allocs/op" lines, keyed by the benchmark name with the -GOMAXPROCS
 // suffix stripped (baselines are recorded without it).
-func parseBenchOutput(f *os.File) (map[string]float64, error) {
-	out := map[string]float64{}
+func parseBenchOutput(f *os.File) (map[string]measurement, error) {
+	out := map[string]measurement{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := sc.Text()
@@ -97,18 +128,24 @@ func parseBenchOutput(f *os.File) (map[string]float64, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		var allocs float64 = -1
+		m := measurement{allocs: -1}
 		for i := 1; i < len(fields); i++ {
-			if fields[i] == "allocs/op" && i > 0 {
-				v, err := strconv.ParseFloat(fields[i-1], 64)
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			switch fields[i] {
+			case "allocs/op":
 				if err != nil {
 					return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 				}
-				allocs = v
+				m.allocs = v
+			case "ns/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+				}
+				m.nsPerOp = v
 			}
 		}
-		if allocs < 0 {
-			continue // bench line without -benchmem columns
+		if m.allocs < 0 && m.nsPerOp == 0 {
+			continue // not a result line
 		}
 		name := fields[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
@@ -117,7 +154,7 @@ func parseBenchOutput(f *os.File) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		out[name] = allocs
+		out[name] = m
 	}
 	return out, sc.Err()
 }

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/benchjson"
 	"repro/internal/core"
 )
 
@@ -39,6 +41,9 @@ func main() {
 		"redial remote servers with backoff after transport failures")
 	metricsEvery := flag.Duration("metrics-every", 0,
 		"dump the metrics snapshot at this interval while running (0 = off)")
+	benchOut := flag.String("benchjson", "",
+		"append this run's throughput and p99 commit latency to the given benchjson file")
+	note := flag.String("note", "", "label recorded with -benchjson (what changed)")
 	flag.Parse()
 
 	var connect func() (*repro.Client, error)
@@ -106,6 +111,7 @@ func main() {
 	}
 
 	var committed, aborted int64
+	commitLats := make([][]int64, *clients) // per-client: no shared append
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < *clients; i++ {
@@ -134,13 +140,16 @@ func main() {
 					fatal(err)
 				}
 				err = runTxn(tx, rng, pick, *reads, *writes)
+				var commitStart time.Time
 				if err == nil {
+					commitStart = time.Now()
 					err = tx.Commit()
 				}
 				switch {
 				case err == nil:
 					n++
 					atomic.AddInt64(&committed, 1)
+					commitLats[i] = append(commitLats[i], time.Since(commitStart).Nanoseconds())
 				case errors.Is(err, repro.ErrAborted):
 					atomic.AddInt64(&aborted, 1)
 				default:
@@ -152,9 +161,26 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("committed %d txns in %v — %.0f txn/s (%d deadlock retries)\n",
-		committed, elapsed.Round(time.Millisecond),
-		float64(committed)/elapsed.Seconds(), aborted)
+	txnPerSec := float64(committed) / elapsed.Seconds()
+	p99 := percentileNs(commitLats, 99)
+	fmt.Printf("committed %d txns in %v — %.0f txn/s, p99 commit %v (%d deadlock retries)\n",
+		committed, elapsed.Round(time.Millisecond), txnPerSec,
+		time.Duration(p99).Round(time.Microsecond), aborted)
+	if *benchOut != "" {
+		run := benchjson.NewRun()
+		run.Note = *note
+		run.Benchmarks = map[string]benchjson.Benchmark{
+			fmt.Sprintf("oodbbench/clients=%d", *clients): {
+				NsPerOp:   meanNs(commitLats),
+				OpsPerSec: txnPerSec,
+				P99Ns:     float64(p99),
+			},
+		}
+		if err := benchjson.Append(*benchOut, run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded run in %s\n", *benchOut)
+	}
 	if statsFn != nil {
 		st := statsFn()
 		fmt.Printf("server: reads=%d writes=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d deadlocks=%d\n",
@@ -179,6 +205,34 @@ func runTxn(tx *repro.Txn, rng *rand.Rand, pick func() repro.ObjID, reads, write
 		}
 	}
 	return nil
+}
+
+// percentileNs merges the per-client latency slices and returns the p-th
+// percentile in nanoseconds (0 if nothing was recorded).
+func percentileNs(lats [][]int64, p int) int64 {
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all[(len(all)-1)*p/100]
+}
+
+func meanNs(lats [][]int64) float64 {
+	var sum, n int64
+	for _, l := range lats {
+		for _, v := range l {
+			sum += v
+		}
+		n += int64(len(l))
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
 }
 
 func fatal(err error) {

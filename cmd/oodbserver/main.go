@@ -14,6 +14,9 @@
 //	-pagesize          existing database keeps its on-disk geometry
 //	-nosync            do not fsync the WAL per commit (faster, unsafe:
 //	                   acknowledged commits may be lost on a crash)
+//	-group-commit-window
+//	                   linger before each WAL fsync so concurrent commits
+//	                   share it (0 = sync immediately)
 //	-callback-timeout  depose clients that leave a cache-consistency
 //	                   callback unanswered for this long (0 disables);
 //	                   bounds how long one silent client can stall writers
@@ -51,6 +54,9 @@ func main() {
 	objsPerPage := flag.Int("objs", 20, "objects per page (creation only)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes (creation only)")
 	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
+	gcWindow := flag.Duration("group-commit-window", 0,
+		"linger this long before each WAL fsync so concurrent commits share it "+
+			"(0 = sync immediately; batching still happens under load)")
 	cbTimeout := flag.Duration("callback-timeout", 0,
 		"depose clients with callbacks unanswered this long (0 = wait forever)")
 	admin := flag.String("admin", "",
@@ -66,7 +72,7 @@ func main() {
 	}
 	srv, err := live.OpenServer(*dir, live.ServerOptions{
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
-		SyncWAL: !*noSync, CallbackTimeout: *cbTimeout,
+		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
 	})
 	if err != nil {
 		fatal(err)

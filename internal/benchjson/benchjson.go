@@ -19,11 +19,16 @@ import (
 )
 
 // Benchmark records one `go test -bench` measurement attached to a run
-// (e.g. the allocation profile of a figure's cell grid).
+// (e.g. the allocation profile of a figure's cell grid, or the live
+// system's commit throughput).
 type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// OpsPerSec and P99Ns record throughput-style measurements (e.g. the
+	// live benchmark's committed txn/s and p99 commit latency).
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	P99Ns     float64 `json:"p99_ns,omitempty"`
 }
 
 // SweepBench is one sweep's timing within a run.
@@ -55,6 +60,9 @@ type Run struct {
 	// alongside harness runs (keyed by benchmark name), so allocation
 	// trajectories live in the same history as wall-clock ones.
 	Benchmarks map[string]Benchmark `json:"benchmarks,omitempty"`
+	// Note labels what this run measured (e.g. "gob codec + per-commit
+	// fsync baseline"), so before/after pairs read without git archaeology.
+	Note string `json:"note,omitempty"`
 }
 
 // NewRun returns a Run stamped with the current time and host/toolchain

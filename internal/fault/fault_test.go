@@ -121,6 +121,13 @@ func (c *pipeConn) Send(m *core.Msg) error {
 }
 
 func (c *pipeConn) Recv() (*core.Msg, error) {
+	// Drain buffered messages before reporting closure, mirroring the
+	// live transports: a close must not discard messages sent before it.
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
 	select {
 	case m := <-c.in:
 		return m, nil

@@ -1,0 +1,255 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// startTCPServer opens a server on a loopback listener and returns it with
+// its dial address.
+func startTCPServer(b *testing.B, opts ServerOptions) (*Server, string) {
+	b.Helper()
+	dir := b.TempDir()
+	srv, err := OpenServer(dir, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.ListenAndServe("127.0.0.1:0")
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Addr() == "" {
+		if time.Now().After(deadline) {
+			b.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return srv, srv.Addr()
+}
+
+// BenchmarkLiveCommit measures end-to-end commit throughput over real TCP
+// with N concurrent clients and a durable (fsynced) WAL — the live-system
+// hot path the wire codec and group commit optimize. Each client updates
+// objects in a private page region, so the measurement is the data plane
+// (codec, WAL, fsync scheduling), not lock contention. Reported metrics:
+// txn/s (aggregate committed throughput) and p99-commit-ns (per-commit
+// latency tail).
+func BenchmarkLiveCommit(b *testing.B) {
+	for _, nc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients=%d", nc), func(b *testing.B) {
+			benchLiveCommit(b, nc)
+		})
+	}
+}
+
+func benchLiveCommit(b *testing.B, nClients int) {
+	const pagesPerClient = 16
+	srv, addr := startTCPServer(b, ServerOptions{
+		Proto: core.PSAA, PageSize: 4096, ObjsPerPage: 20,
+		NumPages: nClients * pagesPerClient, SyncWAL: true,
+	})
+	defer srv.Close()
+
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		conn, err := Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := Connect(conn, ClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	var next atomic.Int64
+	lats := make([][]int64, nClients)
+	val := make([]byte, 64)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(b.N) {
+					return
+				}
+				tx, err := cl.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				obj := o(core.PageID(i*pagesPerClient+int(n)%pagesPerClient), uint16(n%20))
+				if err := tx.Write(obj, val); err != nil {
+					b.Error(err)
+					return
+				}
+				start := time.Now()
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+				lats[i] = append(lats[i], time.Since(start).Nanoseconds())
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		b.ReportMetric(float64(all[(len(all)-1)*99/100]), "p99-commit-ns")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+}
+
+// tcpPair returns both ends of one established loopback TCP connection,
+// so the wire benchmarks exercise the same socket path production uses.
+func tcpPair(b *testing.B) (net.Conn, net.Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		b.Fatal(r.err)
+	}
+	return c1, r.c
+}
+
+// gobConn is the pre-binary-codec transport (a gob stream straight over
+// the socket), kept here as a reference implementation so every wire
+// benchmark publishes the old/new comparison on the same harness.
+type gobConn struct {
+	c   net.Conn
+	dec *gob.Decoder
+
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func newGobConn(c net.Conn) Conn {
+	return &gobConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (g *gobConn) Send(m *core.Msg) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enc.Encode(m)
+}
+
+func (g *gobConn) Recv() (*core.Msg, error) {
+	m := new(core.Msg)
+	if err := g.dec.Decode(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (g *gobConn) Close() error { return g.c.Close() }
+
+// benchWireRoundTrip pumps b.N copies of m through a transport over a
+// loopback TCP connection, measuring the full encode+frame+decode path
+// (allocs/op is the wire-path allocation cost the binary codec cuts).
+// Each benchmark runs twice: codec=binary (the live transport) and
+// codec=gob (the replaced one, for the recorded before/after).
+func benchWireRoundTrip(b *testing.B, m *core.Msg) {
+	for _, tc := range []struct {
+		name string
+		mk   func(net.Conn) Conn
+	}{
+		{"codec=binary", NewTCPConn},
+		{"codec=gob", newGobConn},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c1, c2 := tcpPair(b)
+			t1, t2 := tc.mk(c1), tc.mk(c2)
+			defer t1.Close()
+			defer t2.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			errCh := make(chan error, 1)
+			go func() {
+				for i := 0; i < b.N; i++ {
+					if err := t1.Send(m); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				errCh <- nil
+			}()
+			for i := 0; i < b.N; i++ {
+				if _, err := t2.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-errCh; err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkWirePageData is the server->client data path: a full 4KiB page
+// grant with a couple of unavailable slots.
+func BenchmarkWirePageData(b *testing.B) {
+	benchWireRoundTrip(b, &core.Msg{
+		Kind: core.MPageData, To: 3, Txn: 77, Req: 12,
+		Page: 9, Grant: core.GrantPage,
+		Unavail: []uint16{1, 7},
+		Data:    make([]byte, 4096),
+	})
+}
+
+// BenchmarkWireCommitMsg is the client->server commit path: four object
+// afterimages plus the page list and a piggybacked drop notice.
+func BenchmarkWireCommitMsg(b *testing.B) {
+	updates := make(map[core.ObjID][]byte)
+	for i := 0; i < 4; i++ {
+		updates[core.ObjID{Page: core.PageID(i), Slot: uint16(i)}] = make([]byte, 100)
+	}
+	benchWireRoundTrip(b, &core.Msg{
+		Kind: core.MCommitReq, From: 2, Txn: 1234567, Req: 99,
+		Pages:        []core.PageID{0, 1, 2, 3},
+		Updates:      updates,
+		DroppedPages: []core.PageID{11},
+	})
+}
+
+// BenchmarkWireControl is the smallest message class (acks, grants):
+// framing overhead floor.
+func BenchmarkWireControl(b *testing.B) {
+	benchWireRoundTrip(b, &core.Msg{
+		Kind: core.MCallbackAck, From: 4, Txn: 42, Req: 7, Purged: true,
+		Obj: core.ObjID{Page: 3, Slot: 2}, Epoch: 5,
+	})
+}

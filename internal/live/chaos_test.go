@@ -64,6 +64,107 @@ func TestRequestTimeoutSurfaced(t *testing.T) {
 	}
 }
 
+// holdAckConn wraps a Conn to reproduce a narrow timeout race: the first
+// commit ack is held until ackGate closes (simulating a reply sitting in
+// the transport buffer past the client's request timeout), and the
+// subsequent transport error is held until errGate closes (keeping the
+// recv loop from reconnecting until the test has probed Begin). Recv is
+// only ever called from the client's single recv loop.
+type holdAckConn struct {
+	Conn
+	ackGate <-chan struct{}
+	errGate <-chan struct{}
+	held    bool
+}
+
+func (h *holdAckConn) Recv() (*core.Msg, error) {
+	m, err := h.Conn.Recv()
+	if err != nil {
+		<-h.errGate
+		return m, err
+	}
+	if !h.held && m.Kind == core.MCommitAck {
+		h.held = true
+		<-h.ackGate
+	}
+	return m, err
+}
+
+// TestBeginAfterCommitTimeoutRace: a commit whose ack arrives just after
+// the request timeout fired (so the waiter is released with the reply,
+// not a disconnect) must still leave the client reusable — the next
+// Begin blocks behind the reconnect instead of failing with
+// "transaction already active".
+func TestBeginAfterCommitTimeoutRace(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	redial := func() (Conn, error) {
+		cEnd, sEnd := Pipe()
+		if _, err := srv.Attach(sEnd); err != nil {
+			return nil, err
+		}
+		return cEnd, nil
+	}
+	cEnd, sEnd := Pipe()
+	if _, err := srv.Attach(sEnd); err != nil {
+		t.Fatal(err)
+	}
+	ackGate := make(chan struct{})
+	errGate := make(chan struct{})
+	hc := &holdAckConn{Conn: cEnd, ackGate: ackGate, errGate: errGate}
+	cl, err := Connect(hc, ClientOptions{
+		RequestTimeout: 100 * time.Millisecond,
+		Redial:         redial,
+		Retry:          RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(o(0, 0), []byte("racy")); err != nil {
+		t.Fatal(err)
+	}
+	// Release the ack well after the 100ms request timeout has torn the
+	// connection down; the recv loop then delivers it as a normal reply.
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		close(ackGate)
+	}()
+	if err := tx.Commit(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Commit returned %v, want ErrTimeout", err)
+	}
+
+	// The recv loop is still parked on errGate, so the reconnect has not
+	// started. Begin must wait for it, not report an active transaction.
+	beginErr := make(chan error, 1)
+	go func() {
+		tx2, err := cl.Begin()
+		if err == nil {
+			tx2.Abort()
+		}
+		beginErr <- err
+	}()
+	select {
+	case err := <-beginErr:
+		t.Fatalf("Begin returned early with %v; want it to block until the session is replaced", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(errGate) // let the recv loop observe the dead conn and redial
+	select {
+	case err := <-beginErr:
+		if err != nil {
+			t.Fatalf("Begin after commit-timeout race: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Begin still blocked after reconnect")
+	}
+}
+
 // TestClientReconnectAfterKill: a killed transport aborts the in-flight
 // transaction locally, then the client re-dials (fresh session, cold
 // cache) and the next transaction succeeds against durable state.

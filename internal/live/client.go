@@ -453,6 +453,22 @@ func (c *Client) roundTrip(m *core.Msg, apply func(rep *core.Msg)) error {
 	c.mu.Lock()
 	switch {
 	case timedOut:
+		// We tore the connection down, but the reply may have raced in
+		// first (transports drain buffered messages on close), in which
+		// case the waiter was released with reqOK and the recv loop has
+		// not yet seen the transport error. The session is doomed either
+		// way: park new Begins behind the reconnect and finish the active
+		// transaction now, so the client is reusable the moment the recv
+		// loop replaces (or permanently fails) the session. Skip if the
+		// recv loop already swapped in a fresh connection.
+		if c.conn == conn && !c.closed {
+			c.reconnecting = true
+			if c.txn != nil {
+				c.txn.done = true
+				c.txn.failed = ErrTimeout
+				c.txn = nil
+			}
+		}
 		return ErrTimeout
 	case out == reqAborted:
 		return ErrAborted

@@ -1,0 +1,207 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// TestGroupCommitBatching drives concurrent committers through a durable
+// WAL with a linger window and checks that fsyncs are actually shared:
+// fewer syncs than commit records, and the group-size histogram saw
+// batches.
+func TestGroupCommitBatching(t *testing.T) {
+	const nClients, perClient = 4, 10
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{
+		Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 32,
+		SyncWAL: true, GroupCommitWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		cl := attachClient(t, srv)
+		defer cl.Close()
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			for n := 0; n < perClient; n++ {
+				tx, err := cl.Begin()
+				if err != nil {
+					t.Errorf("client %d begin: %v", i, err)
+					return
+				}
+				// Private page region: measure the durability path, not
+				// lock contention.
+				if err := tx.Write(o(core.PageID(i*4+n%4), 0), []byte{byte(n)}); err != nil {
+					t.Errorf("client %d write: %v", i, err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("client %d commit: %v", i, err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+
+	reg := srv.Metrics()
+	records := reg.CounterValue("oodb_wal_records_total")
+	syncs := reg.CounterValue("oodb_wal_syncs_total")
+	if records != nClients*perClient {
+		t.Errorf("wal records = %d, want %d", records, nClients*perClient)
+	}
+	if syncs == 0 {
+		t.Error("no WAL fsyncs despite SyncWAL")
+	}
+	if syncs >= records {
+		t.Errorf("syncs=%d >= records=%d: group commit never batched", syncs, records)
+	}
+	if snap := reg.HistogramSnapshot("oodb_live_wal_group_size"); snap.Count == 0 {
+		t.Error("oodb_live_wal_group_size never observed")
+	}
+}
+
+// TestGroupCommitSyncDisabled pins the SyncWAL=false bypass: commits are
+// acknowledged without any fsync (the test-speed configuration must not
+// pay for group commit's machinery).
+func TestGroupCommitSyncDisabled(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{
+		Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 16,
+		SyncWAL: false, GroupCommitWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := attachClient(t, srv)
+	defer cl.Close()
+	for n := 0; n < 5; n++ {
+		tx, err := cl.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(o(core.PageID(n), 0), []byte{byte(n)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := srv.Metrics()
+	if got := reg.CounterValue("oodb_wal_records_total"); got != 5 {
+		t.Errorf("wal records = %d, want 5", got)
+	}
+	if got := reg.CounterValue("oodb_wal_syncs_total"); got != 0 {
+		t.Errorf("wal syncs = %d with SyncWAL=false, want 0", got)
+	}
+}
+
+// TestGroupCommitAckedDurableUnderConcurrency is the batched-sync version
+// of the crash audit: several clients commit concurrently (sharing
+// fsyncs via the linger window) while a crash point inside the
+// append/sync sequence is armed. After recovery, every acknowledged
+// commit must be durable and nothing unsubmitted may appear — i.e. the
+// group-commit leader must never let a follower's ack escape before the
+// fsync that covers it.
+func TestGroupCommitAckedDurableUnderConcurrency(t *testing.T) {
+	for _, tc := range []struct {
+		point string
+		hit   int64
+	}{
+		{"wal.append.pre-sync", 3},
+		{"wal.append.pre-sync", 7},
+		{"wal.append.torn-write", 3},
+		{"wal.append.pre-frame", 5},
+	} {
+		t.Run(fmt.Sprintf("%s/hit%d", tc.point, tc.hit), func(t *testing.T) {
+			runConcurrentCrash(t, tc.point, tc.hit)
+		})
+	}
+}
+
+func runConcurrentCrash(t *testing.T, point string, hit int64) {
+	const nClients, maxCommits = 3, 40
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{
+		Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 16,
+		SyncWAL: true, GroupCommitWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.DisarmAll()
+	fault.Get(point).Arm(hit)
+
+	// Each client owns one object; the indices are disjoint, so plain
+	// slices are race-free (joined by wg.Wait before reading).
+	acked := make([]uint32, nClients)     // seq+1 of the last acknowledged commit
+	submitted := make([]uint32, nClients) // seq+1 of the last submitted commit
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		cl := attachClient(t, srv)
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			defer cl.Close()
+			for n := uint32(0); n < maxCommits; n++ {
+				tx, err := cl.Begin()
+				if err != nil {
+					return // server crashed under us
+				}
+				if err := tx.Write(o(core.PageID(i), 0), seqVal(n)); err != nil {
+					return
+				}
+				submitted[i] = n + 1
+				if err := tx.Commit(); err != nil {
+					return
+				}
+				acked[i] = n + 1
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	if srv.Failed() == nil {
+		t.Fatalf("crash point %s (hit %d) never fired", point, hit)
+	}
+	srv.Crash()
+	fault.DisarmAll()
+
+	srv2, err := OpenServer(dir, ServerOptions{Proto: core.PSAA, SyncWAL: true})
+	if err != nil {
+		t.Fatalf("recovery reopen: %v", err)
+	}
+	defer srv2.Close()
+	auditor := attachClient(t, srv2)
+	defer auditor.Close()
+	tx, err := auditor.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nClients; i++ {
+		got, err := tx.Read(o(core.PageID(i), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := binary.LittleEndian.Uint32(got[:4]) // seq+1; 0 = never written
+		if v < acked[i] {
+			t.Errorf("client %d: recovered seq %d older than acked seq %d",
+				i, int64(v)-1, int64(acked[i])-1)
+		}
+		if v > submitted[i] {
+			t.Errorf("client %d: phantom seq %d never submitted", i, v-1)
+		}
+	}
+	tx.Commit()
+}

@@ -34,10 +34,12 @@ type serverMetrics struct {
 	callbackFanout *obs.Histogram
 	leaseExpiries  *obs.Counter
 
-	walAppendNs *obs.Histogram
-	walFsyncNs  *obs.Histogram
-	walBytes    *obs.Counter
-	walRecords  *obs.Counter
+	walAppendNs  *obs.Histogram
+	walFsyncNs   *obs.Histogram
+	walBytes     *obs.Counter
+	walRecords   *obs.Counter
+	walSyncs     *obs.Counter
+	walGroupSize *obs.Histogram
 
 	checkpointNs *obs.Histogram
 	checkpoints  *obs.Counter
@@ -69,6 +71,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"bytes appended to the WAL")
 	m.walRecords = reg.Counter("oodb_wal_records_total",
 		"commit records appended to the WAL")
+	m.walSyncs = reg.Counter("oodb_wal_syncs_total",
+		"WAL fsyncs issued (group commit: one sync can cover many records)")
+	m.walGroupSize = reg.Histogram("oodb_live_wal_group_size",
+		"commit records made durable per WAL fsync (group-commit batch size)")
 	m.checkpointNs = reg.Histogram("oodb_checkpoint_ns",
 		"checkpoint duration (store flush + log truncate), ns")
 	m.checkpoints = reg.Counter("oodb_checkpoints_total", "checkpoints completed")

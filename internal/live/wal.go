@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -23,6 +24,16 @@ import (
 // before acknowledging the commit. Recovery replays committed records in
 // log order. This matches the paper's steal/no-force WAL assumption from
 // the server's perspective while keeping undo unnecessary.
+//
+// Commit durability is group-committed: Append (under the server lock)
+// only writes the frame; WaitDurable — called WITHOUT the server lock —
+// makes it durable. The first waiter becomes the sync leader and fsyncs
+// once for every record written so far; commits that arrive while that
+// fsync is in flight write their frames and ride the NEXT sync as a
+// batch (leader/follower). Because the log is sequential and `synced` is
+// a prefix offset, a durable record implies every earlier record is
+// durable too — so a transaction that reads another's committed-but-not-
+// yet-acked data can never become durable ahead of it.
 
 // Crash points on the log's durability boundaries (see internal/fault).
 var (
@@ -31,6 +42,10 @@ var (
 	cpWALPreSync  = fault.Register("wal.append.pre-sync")
 	cpWALTruncate = fault.Register("wal.truncate.pre")
 )
+
+// errWALCrashed is the sticky error waiters see after a fail-stop crash
+// discarded the unsynced tail.
+var errWALCrashed = errors.New("live: WAL crashed")
 
 // walRecord is one logged transaction.
 type walRecord struct {
@@ -41,22 +56,52 @@ type walRecord struct {
 	Commit bool // always true today; reserved for future undo records
 }
 
-// WAL is an append-only redo log with length+CRC framing.
+// WAL is an append-only redo log with length+CRC framing and group
+// commit.
 type WAL struct {
-	f   *os.File
-	off int64
+	f *os.File
+
+	// SyncOnCommit forces commits to wait for an fsync (durable but slow;
+	// tests turn it off). Set before serving; not data-race guarded.
+	SyncOnCommit bool
+	// GroupCommitWindow, when > 0, makes the sync leader linger that long
+	// before fsyncing so more followers can join the batch. 0 syncs
+	// immediately — batching then comes only from fsyncs already in
+	// flight, which keeps the uncontended commit latency at one fsync.
+	GroupCommitWindow time.Duration
+
+	// mu guards the offsets and group-commit state below. Append and
+	// Truncate additionally run under the server lock; WaitDurable does
+	// not (that is the point of group commit).
+	mu   sync.Mutex
+	cond *sync.Cond
+	off  int64
 	// synced is the offset known to be durable (fsynced). A simulated
 	// crash discards everything past it, modeling lost page-cache writes.
 	synced int64
-	// SyncOnCommit forces an fsync per appended record (durable but slow;
-	// tests turn it off).
-	SyncOnCommit bool
+	// gen counts truncations; a ticket from an older generation is
+	// durable by definition (truncation follows a store flush covering
+	// every installed update).
+	gen int64
+	// syncing marks an fsync in flight (its owner is the leader).
+	syncing bool
+	// syncErr is sticky: once an fsync fails (or a crash is injected) no
+	// later commit may be acknowledged.
+	syncErr error
+	// recsSinceSync counts records appended since the last sync target
+	// snapshot — the next batch's size.
+	recsSinceSync int
+
 	// metrics, when set, observes append/fsync latency and log growth.
 	metrics *serverMetrics
 }
 
 // Len returns the current log length in bytes (the append offset).
-func (w *WAL) Len() int64 { return w.off }
+func (w *WAL) Len() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off
+}
 
 // OpenWAL opens (or creates) the log at path, positioned for appending
 // after the last valid record. It returns the records found by that scan
@@ -67,6 +112,7 @@ func OpenWAL(path string) (*WAL, []*walRecord, error) {
 		return nil, nil, err
 	}
 	w := &WAL{f: f, SyncOnCommit: true}
+	w.cond = sync.NewCond(&w.mu)
 	recs, off, err := scanWAL(f)
 	if err != nil {
 		f.Close()
@@ -77,56 +123,137 @@ func OpenWAL(path string) (*WAL, []*walRecord, error) {
 	return w, recs, nil
 }
 
-// Append logs one committed transaction's afterimages.
-func (w *WAL) Append(rec *walRecord) error {
+// append writes one committed transaction's frame without syncing. The
+// returned (ticket, gen) identify the durability point to wait on.
+// Callers serialize appends (the server lock does this).
+func (w *WAL) append(rec *walRecord) (ticket, gen int64, err error) {
 	if err := cpWALPreFrame.Check(); err != nil {
-		return err
+		return 0, 0, err
 	}
 	start := time.Now()
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
-		return err
-	}
-	frame := make([]byte, 8+body.Len())
-	binary.LittleEndian.PutUint32(frame[0:], uint32(body.Len()))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body.Bytes()))
-	copy(frame[8:], body.Bytes())
+	bp := encBufPool.Get().(*[]byte)
+	body := appendWALRecord((*bp)[:0], rec)
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	*bp = body
+	encBufPool.Put(bp)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := cpWALTornTail.Check(); err != nil {
 		// Simulate a torn write: half the frame reaches the file before
 		// the process dies. Recovery must stop at the previous record.
 		w.f.WriteAt(frame[:len(frame)/2], w.off)
-		return err
+		return 0, 0, err
 	}
 	if _, err := w.f.WriteAt(frame, w.off); err != nil {
-		return err
+		return 0, 0, err
 	}
 	w.off += int64(len(frame))
+	w.recsSinceSync++
 	if w.metrics != nil {
 		w.metrics.walAppendNs.Observe(time.Since(start).Nanoseconds())
 		w.metrics.walBytes.Add(int64(len(frame)))
 		w.metrics.walRecords.Inc()
 	}
+	return w.off, w.gen, nil
+}
+
+// WaitDurable blocks until the record ending at ticket (from append) is
+// durable: fsynced, covered by a newer generation (truncated after a
+// store flush), or — with SyncOnCommit off — immediately. The first
+// waiter leads the fsync; arrivals during an in-flight fsync ride the
+// next one as a batch. Must NOT be called with the server lock held.
+func (w *WAL) WaitDurable(ticket, gen int64) error {
+	// The pre-sync crash point models dying between the frame write and
+	// its fsync; checked per commit (as the old inline path did), whether
+	// or not this commit ends up leading the sync.
 	if err := cpWALPreSync.Check(); err != nil {
 		return err
 	}
-	if w.SyncOnCommit {
-		syncStart := time.Now()
-		if err := w.f.Sync(); err != nil {
-			return err
+	if !w.SyncOnCommit {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
 		}
-		w.synced = w.off
+		if w.gen != gen || w.synced >= ticket {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.leadSync()
+	}
+}
+
+// leadSync runs one group fsync as the leader. Called with w.mu held;
+// releases it around the sleep/fsync and reacquires before returning.
+func (w *WAL) leadSync() {
+	w.syncing = true
+	if w.GroupCommitWindow > 0 {
+		// Linger so concurrent committers can append into this batch.
+		w.mu.Unlock()
+		time.Sleep(w.GroupCommitWindow)
+		w.mu.Lock()
+	}
+	target, batch, tgen := w.off, w.recsSinceSync, w.gen
+	w.recsSinceSync = 0
+	w.mu.Unlock()
+
+	start := time.Now()
+	err := w.f.Sync()
+	dur := time.Since(start)
+
+	w.mu.Lock()
+	w.syncing = false
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+	} else {
+		if w.gen == tgen && target > w.synced {
+			w.synced = target
+		}
 		if w.metrics != nil {
-			w.metrics.walFsyncNs.Observe(time.Since(syncStart).Nanoseconds())
+			w.metrics.walFsyncNs.Observe(dur.Nanoseconds())
+			w.metrics.walSyncs.Inc()
+			if batch > 0 {
+				w.metrics.walGroupSize.Observe(int64(batch))
+			}
 		}
 	}
-	return nil
+	w.cond.Broadcast()
+}
+
+// Append logs one committed transaction's afterimages and (with
+// SyncOnCommit) waits for durability — the non-grouped convenience used
+// by tests and tools; the server's commit path calls append/WaitDurable
+// separately so the fsync wait happens outside the server lock.
+func (w *WAL) Append(rec *walRecord) error {
+	ticket, gen, err := w.append(rec)
+	if err != nil {
+		return err
+	}
+	return w.WaitDurable(ticket, gen)
 }
 
 // Truncate discards the log (after a checkpoint made it redundant).
+// Every in-flight committer from the old generation is released as
+// durable: truncation only happens after a store flush that covers all
+// installed updates.
 func (w *WAL) Truncate() error {
 	if err := cpWALTruncate.Check(); err != nil {
 		return err
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
@@ -135,6 +262,9 @@ func (w *WAL) Truncate() error {
 		return err
 	}
 	w.synced = 0
+	w.gen++
+	w.recsSinceSync = 0
+	w.cond.Broadcast()
 	return nil
 }
 
@@ -142,14 +272,25 @@ func (w *WAL) Truncate() error {
 func (w *WAL) Close() error { return w.f.Close() }
 
 // crash closes the log as a dying process would: bytes written but never
-// fsynced are discarded (the OS page cache died with the machine).
+// fsynced are discarded (the OS page cache died with the machine), and
+// every waiting committer is released with an error so no crash-raced
+// commit gets acknowledged.
 func (w *WAL) crash() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.f.Truncate(w.synced)
 	w.f.Close()
+	if w.syncErr == nil {
+		w.syncErr = errWALCrashed
+	}
+	w.cond.Broadcast()
 }
 
 // scanWAL reads every valid record from the start of the file, stopping at
-// the first torn/invalid frame (crash tail).
+// the first torn/invalid frame (crash tail). Bodies are binary
+// (walFormatBinary, codec.go); bodies from logs written before the binary
+// codec fall back to gob — the one-shot migration read path: recovery
+// replays them, and the post-recovery truncation retires the old format.
 func scanWAL(f *os.File) ([]*walRecord, int64, error) {
 	var recs []*walRecord
 	var off int64
@@ -173,11 +314,16 @@ func scanWAL(f *os.File) ([]*walRecord, int64, error) {
 		if crc32.ChecksumIEEE(body) != want {
 			return recs, off, nil
 		}
-		var rec walRecord
-		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rec); err != nil {
-			return recs, off, nil
+		rec, err := decodeWALRecord(body)
+		if err != nil {
+			// Legacy gob body (pre-binary-codec log): migrate on read.
+			var grec walRecord
+			if gob.NewDecoder(bytes.NewReader(body)).Decode(&grec) != nil {
+				return recs, off, nil
+			}
+			rec = &grec
 		}
-		recs = append(recs, &rec)
+		recs = append(recs, rec)
 		off += int64(8 + n)
 	}
 }

@@ -1,8 +1,10 @@
 package live
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -14,12 +16,29 @@ import (
 // Conn is a bidirectional, ordered message channel between one client and
 // the server. Both in-process and TCP transports implement it.
 type Conn interface {
-	// Send transmits one message. Safe for concurrent use.
+	// Send transmits one message. Safe for concurrent use. Sends may be
+	// buffered; the transport guarantees timely delivery without an
+	// explicit flush.
 	Send(m *core.Msg) error
 	// Recv blocks for the next message. Single consumer.
 	Recv() (*core.Msg, error)
 	// Close tears the connection down; pending Recv returns an error.
 	Close() error
+}
+
+// flusher is the optional fast-path a buffered transport exposes: callers
+// that know a batch boundary (e.g. the server's session writer after
+// draining its outbox) can force the coalesced bytes out immediately
+// instead of waiting for the idle flush.
+type flusher interface {
+	Flush() error
+}
+
+// flushConn flushes c if its transport buffers writes.
+func flushConn(c Conn) {
+	if f, ok := c.(flusher); ok {
+		f.Flush()
+	}
 }
 
 // ---- In-process transport ----
@@ -54,11 +73,21 @@ func (c *chanConn) Send(m *core.Msg) error {
 }
 
 func (c *chanConn) Recv() (*core.Msg, error) {
+	// Drain first: a message that was successfully Sent before Close must
+	// be delivered, not eaten by the racing closure — and the drain must
+	// keep winning on every call until the queue is empty, so a burst of
+	// queued messages (e.g. a commit ack plus callback fan-out) all land.
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
 	select {
 	case m := <-c.in:
 		return m, nil
 	case <-c.done:
-		// Drain anything already queued before reporting closure.
+		// done closed while we were waiting: one more drain pass picks up
+		// anything that raced in ahead of the close.
 		select {
 		case m := <-c.in:
 			return m, nil
@@ -73,28 +102,180 @@ func (c *chanConn) Close() error {
 	return nil
 }
 
-// ---- TCP/gob transport ----
+// ---- TCP binary transport ----
 
-// tcpConn frames messages with encoding/gob over a net.Conn.
+// wireVersion is the one-byte protocol version a client presents at
+// connect time; the server rejects mismatches at accept, before any
+// framing is attempted, so codec changes fail fast instead of
+// desynchronizing mid-stream.
+const wireVersion byte = 1
+
+// handshakeTimeout bounds how long the server waits for the version byte
+// of a freshly accepted connection.
+const handshakeTimeout = 5 * time.Second
+
+// tcpConn frames messages with the binary codec (codec.go) over a
+// net.Conn. Writes coalesce in a bufio.Writer and are flushed by a
+// dedicated goroutine when the sender goes idle, so back-to-back sends
+// (callback fan-outs, grant bursts) share syscalls.
 type tcpConn struct {
-	c      net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	sendMu sync.Mutex
+	c  net.Conn
+	br *bufio.Reader
+
+	// readBuf is the reusable frame buffer and hdrIn the reusable header
+	// scratch (a local array would escape through io.ReadFull and cost an
+	// allocation per message); decodeMsg copies everything it keeps, so
+	// neither buffer escapes. Single consumer (Recv contract), so both are
+	// unguarded.
+	readBuf []byte
+	hdrIn   [4]byte
+
+	sendMu  sync.Mutex
+	bw      *bufio.Writer
+	hdrOut  [4]byte
+	sendErr error // sticky: first write/flush failure poisons the conn
+
+	flushWake chan struct{} // cap 1: signal "bytes are buffered"
+	closeOnce sync.Once
+	done      chan struct{}
 }
 
-// NewTCPConn wraps an established net.Conn.
+// NewTCPConn wraps an established net.Conn (version handshake already
+// done, if any).
 func NewTCPConn(c net.Conn) Conn {
-	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	t := &tcpConn{
+		c:         c,
+		br:        bufio.NewReaderSize(c, 64<<10),
+		bw:        bufio.NewWriterSize(c, 64<<10),
+		flushWake: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	go t.flushLoop()
+	return t
 }
 
-// Dial connects to a live server at addr.
+// Dial connects to a live server at addr and presents the wire version.
 func Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if _, err := c.Write([]byte{wireVersion}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("live: handshake write: %w", err)
+	}
 	return NewTCPConn(c), nil
+}
+
+// acceptHandshake validates a freshly accepted connection's version byte.
+func acceptHandshake(c net.Conn) error {
+	c.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	var v [1]byte
+	if _, err := io.ReadFull(c, v[:]); err != nil {
+		return fmt.Errorf("live: handshake read: %w", err)
+	}
+	if v[0] != wireVersion {
+		return fmt.Errorf("live: wire version %d, want %d", v[0], wireVersion)
+	}
+	return nil
+}
+
+func (t *tcpConn) Send(m *core.Msg) error {
+	bp := encBufPool.Get().(*[]byte)
+	body := appendMsg((*bp)[:0], m)
+	var err error
+	if len(body) > maxFrame {
+		err = fmt.Errorf("live: message exceeds frame limit (%d bytes)", len(body))
+	} else {
+		t.sendMu.Lock()
+		if err = t.sendErr; err == nil {
+			binary.LittleEndian.PutUint32(t.hdrOut[:], uint32(len(body)))
+			if _, err = t.bw.Write(t.hdrOut[:]); err == nil {
+				_, err = t.bw.Write(body)
+			}
+			if err != nil {
+				t.sendErr = err
+			}
+		}
+		t.sendMu.Unlock()
+	}
+	*bp = body
+	encBufPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	// Wake the idle flusher; a pending wake already covers us.
+	select {
+	case t.flushWake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Flush forces buffered frames out now (batch boundary hint).
+func (t *tcpConn) Flush() error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if t.sendErr != nil {
+		return t.sendErr
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.sendErr = err
+		return err
+	}
+	return nil
+}
+
+// flushLoop writes buffered frames whenever the senders go idle. While a
+// flush's syscall is in flight, further Sends append to the buffer behind
+// sendMu; the next wake flushes them all at once — that lag is the write
+// coalescing.
+func (t *tcpConn) flushLoop() {
+	for {
+		select {
+		case <-t.flushWake:
+		case <-t.done:
+			return
+		}
+		t.sendMu.Lock()
+		if t.sendErr == nil {
+			if err := t.bw.Flush(); err != nil {
+				t.sendErr = err
+			}
+		}
+		t.sendMu.Unlock()
+	}
+}
+
+func (t *tcpConn) Recv() (*core.Msg, error) {
+	if _, err := io.ReadFull(t.br, t.hdrIn[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(t.hdrIn[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("live: frame length %d exceeds limit", n)
+	}
+	if cap(t.readBuf) < int(n) {
+		t.readBuf = make([]byte, n)
+	}
+	buf := t.readBuf[:n]
+	if _, err := io.ReadFull(t.br, buf); err != nil {
+		return nil, err
+	}
+	return decodeMsg(buf)
+}
+
+func (t *tcpConn) Close() error {
+	t.closeOnce.Do(func() { close(t.done) })
+	// Push out anything still buffered (e.g. a final abort notice) before
+	// tearing the socket down.
+	t.sendMu.Lock()
+	if t.sendErr == nil {
+		t.bw.Flush()
+	}
+	t.sendMu.Unlock()
+	return t.c.Close()
 }
 
 // RetryPolicy shapes connection retries: capped exponential backoff with
@@ -155,19 +336,3 @@ func DialRetry(addr string, policy RetryPolicy) (Conn, error) {
 	}
 	return nil, fmt.Errorf("live: dial %s: %w", addr, lastErr)
 }
-
-func (t *tcpConn) Send(m *core.Msg) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
-	return t.enc.Encode(m)
-}
-
-func (t *tcpConn) Recv() (*core.Msg, error) {
-	var m core.Msg
-	if err := t.dec.Decode(&m); err != nil {
-		return nil, err
-	}
-	return &m, nil
-}
-
-func (t *tcpConn) Close() error { return t.c.Close() }

@@ -1,0 +1,131 @@
+package live
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWireVersionMismatch: a connection presenting the wrong version byte
+// must be rejected at accept time — the server closes it before any frame
+// exchange, so a stale client fails fast instead of desynchronizing.
+func TestWireVersionMismatch(t *testing.T) {
+	srv, _ := testServer(t, core.PSAA)
+	defer srv.Close()
+	go srv.ListenAndServe("127.0.0.1:0")
+	var addr string
+	for i := 0; i < 1000; i++ {
+		if addr = srv.Addr(); addr != "" {
+			break
+		}
+		sleepMs(5)
+	}
+	if addr == "" {
+		t.Fatal("server never listened")
+	}
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte{wireVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close without sending anything (no MHello frame).
+	buf := make([]byte, 1)
+	if n, err := raw.Read(buf); err != io.EOF {
+		t.Fatalf("read after bad handshake: n=%d err=%v, want EOF", n, err)
+	}
+
+	// A correct handshake on the same server still works.
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Connect(conn, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+}
+
+// TestChanConnCloseDrain: messages sent before Close must all be
+// delivered, in order, before Recv reports the closure — a burst (commit
+// ack plus callback fan-out) racing a teardown must not lose its tail.
+func TestChanConnCloseDrain(t *testing.T) {
+	a, b := Pipe()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := b.Send(&core.Msg{Kind: core.MGrant, Req: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	for i := 0; i < n; i++ {
+		m, err := a.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d after close: %v", i, err)
+		}
+		if m.Req != int64(i) {
+			t.Fatalf("Recv %d: got Req %d", i, m.Req)
+		}
+	}
+	if _, err := a.Recv(); err == nil {
+		t.Fatal("Recv past the drained queue succeeded")
+	}
+}
+
+// TestTCPConnFraming round-trips representative messages through the real
+// framing (header, coalesced writes, idle flush) over a socket pair.
+func TestTCPConnFraming(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := NewTCPConn(c1), NewTCPConn(<-accepted)
+	defer t1.Close()
+	defer t2.Close()
+
+	msgs := []*core.Msg{
+		{Kind: core.MPageData, Txn: 1, Data: make([]byte, 4096), Unavail: []uint16{2}},
+		{Kind: core.MGrant, Txn: 2, Obj: o(1, 1)},
+		{Kind: core.MCommitReq, Txn: 3, Updates: map[core.ObjID][]byte{o(0, 0): []byte("v")}},
+	}
+	// Send a burst without explicit flushes: the idle flusher must push
+	// them out, in order.
+	for _, m := range msgs {
+		if err := t1.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := t2.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Txn != want.Txn || len(got.Data) != len(want.Data) {
+			t.Fatalf("Recv %d: got %+v want %+v", i, got, want)
+		}
+	}
+
+	// Oversized messages are refused at Send, not silently truncated.
+	if err := t1.Send(&core.Msg{Data: make([]byte, maxFrame+1)}); err == nil {
+		t.Fatal("oversized Send succeeded")
+	}
+}
