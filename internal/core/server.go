@@ -209,6 +209,15 @@ func (se *ServerEngine) BlockedRequests() int {
 // OpenRounds returns the number of callback rounds in flight.
 func (se *ServerEngine) OpenRounds() int { return len(se.rounds) }
 
+// RoundLive reports whether callback round id is still open (not yet
+// completed or cancelled). Hosts use it to decide whether a busy reply
+// renews the answering client's callback deadline: a busy ack against a
+// cancelled round defers nothing — the client owes no final answer.
+func (se *ServerEngine) RoundLive(id int64) bool {
+	_, ok := se.rounds[id]
+	return ok
+}
+
 // Quiesced reports whether the server holds no locks, rounds, queues, or
 // transactions (integration-test invariant at end of run).
 func (se *ServerEngine) Quiesced() bool {

@@ -433,8 +433,16 @@ func (se *ServerEngine) completeRound(rd *round) {
 	se.retryQueue(rd.page)
 }
 
-// dropRound removes a round from the indexes.
+// dropRound removes a round from the indexes. Recipients whose answer is
+// still outstanding (a cancellation: victim abort, requester disconnect)
+// are announced via EvRoundCancel so the host can retire any callback
+// deadline it armed for them — they owe nothing to a dead round, and a
+// stale deadline would let a watchdog depose a healthy client. Normal
+// completion emits nothing: pending is empty by then.
 func (se *ServerEngine) dropRound(rd *round) {
+	for c := range rd.pending {
+		se.trace(obs.EvRoundCancel, rd.txn.id, c, rd.obj, rd.id)
+	}
 	delete(se.rounds, rd.id)
 	prs := se.pageRound[rd.page]
 	for i, x := range prs {

@@ -3,6 +3,7 @@ package live
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -41,7 +42,7 @@ func startTCPServer(b *testing.B, opts ServerOptions) (*Server, string) {
 // txn/s (aggregate committed throughput) and p99-commit-ns (per-commit
 // latency tail).
 func BenchmarkLiveCommit(b *testing.B) {
-	for _, nc := range []int{1, 8} {
+	for _, nc := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("clients=%d", nc), func(b *testing.B) {
 			benchLiveCommit(b, nc)
 		})
@@ -115,6 +116,131 @@ func benchLiveCommit(b *testing.B, nClients int) {
 		b.ReportMetric(float64(all[(len(all)-1)*99/100]), "p99-commit-ns")
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+}
+
+// BenchmarkLiveMixed is the read-heavy mixed workload: 32 clients over
+// TCP share a 64-page read region while each also owns a private write
+// region. Client caches are deliberately tiny (8 pages) so most reads
+// miss and fetch from the server — the workload that hammers route()'s
+// payload path. ~90% of transactions are 4-object read-only txns against
+// the shared region; ~10% additionally commit one private-page update
+// through the durable WAL.
+func BenchmarkLiveMixed(b *testing.B) {
+	const (
+		nClients    = 32
+		sharedPages = 64
+		privPages   = 4
+	)
+	srv, addr := startTCPServer(b, ServerOptions{
+		Proto: core.PSAA, PageSize: 4096, ObjsPerPage: 20,
+		NumPages: sharedPages + nClients*privPages, SyncWAL: true,
+	})
+	defer srv.Close()
+
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		conn, err := Dial(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := Connect(conn, ClientOptions{CachePages: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	var next atomic.Int64
+	val := make([]byte, 64)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(b.N) {
+					return
+				}
+				tx, err := cl.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for r := 0; r < 4; r++ {
+					obj := o(core.PageID(rng.Intn(sharedPages)), uint16(rng.Intn(20)))
+					if _, err := tx.Read(obj); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if n%10 == 0 {
+					obj := o(core.PageID(sharedPages+i*privPages+int(n)%privPages), uint16(n%20))
+					if err := tx.Write(obj, val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+}
+
+// BenchmarkLiveCommitLargeWriteSet commits one transaction with a
+// 2000-object write set (100 pages x 20 slots) per iteration. The WAL is
+// not fsynced so the measurement isolates commit-request processing —
+// this is the benchmark that exposes a quadratic sortedUpdateKeys.
+func BenchmarkLiveCommitLargeWriteSet(b *testing.B) {
+	const (
+		nPages  = 100
+		objsPP  = 20
+		objSize = 24 // fits the 31-byte slot cap at PageSize 640 / 20 objs
+	)
+	srv, addr := startTCPServer(b, ServerOptions{
+		Proto: core.PSAA, PageSize: 640, ObjsPerPage: objsPP,
+		NumPages: nPages, SyncWAL: false,
+	})
+	defer srv.Close()
+
+	conn, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := Connect(conn, ClientOptions{CachePages: nPages})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	val := make([]byte, objSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := cl.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := 0; p < nPages; p++ {
+			for s := 0; s < objsPP; s++ {
+				if err := tx.Write(o(core.PageID(p), uint16(s)), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // tcpPair returns both ends of one established loopback TCP connection,

@@ -354,8 +354,10 @@ func (c *Client) reconnect(cause error) Conn {
 
 // send transmits a message with drop notices attached. Callers hold c.mu,
 // which also serializes the wire order with the state mutations that
-// produced the message.
-func (c *Client) send(m *core.Msg) {
+// produced the message. The transport error is returned so paths that
+// complete purely locally (read-only commit) can still notice a dead
+// connection; most callers rely on the receive loop for that instead.
+func (c *Client) send(m *core.Msg) error {
 	pages, objs := c.cs.Cache.TakeDropped()
 	m.DroppedPages, m.DroppedObjs = pages, objs
 	for _, p := range pages {
@@ -364,7 +366,7 @@ func (c *Client) send(m *core.Msg) {
 	for _, o := range objs {
 		delete(c.objData, o)
 	}
-	_ = c.conn.Send(m)
+	return c.conn.Send(m)
 }
 
 // cleanupPage frees page bytes if the protocol state no longer caches the
@@ -619,10 +621,29 @@ func (t *Txn) Commit() error {
 		return nil
 	}
 	// Read-only: commit locally (cached copies are read permission).
+	// The deferred callback acks double as a liveness probe: if the
+	// server already tore this session down (e.g. deposed us for a stale
+	// callback), our read permissions were revoked mid-transaction and
+	// the commit must not report success. Without this check the outcome
+	// would depend on whether the receive loop noticed the dead
+	// connection first.
+	var sendErr error
 	for _, ack := range c.cs.OnCommitAck() {
 		ack := ack
-		c.send(&ack)
+		if err := c.send(&ack); err != nil {
+			sendErr = err
+		}
 		c.cleanupPage(ack.Page)
+	}
+	if sendErr != nil && c.opts.Redial == nil && !c.closed {
+		c.recvErr = sendErr
+		c.failPending()
+	}
+	if c.closed {
+		c.met.abort()
+		t.done = true
+		c.txn = nil
+		return ErrClosed
 	}
 	c.met.commit()
 	t.done = true

@@ -31,8 +31,22 @@ type serverMetrics struct {
 	lockWaitPageNs *obs.Histogram
 	lockWaitObjNs  *obs.Histogram
 
+	// Engine-lock width: how long requests wait for the server's one
+	// mutex and how long holders keep it. After the critical-section
+	// shrink, hold covers only the engine step and the WAL frame write —
+	// store I/O and fsyncs show up in wait for other requests if they
+	// ever creep back in.
+	engineLockWaitNs *obs.Histogram
+	engineLockHoldNs *obs.Histogram
+
+	// commitSyncWaitNs is the group-commit durability wait, kept out of
+	// handleNs so commit handling latency reflects processing, not fsync
+	// scheduling.
+	commitSyncWaitNs *obs.Histogram
+
 	callbackFanout *obs.Histogram
 	leaseExpiries  *obs.Counter
+	outboxDeposes  *obs.Counter
 
 	walAppendNs  *obs.Histogram
 	walFsyncNs   *obs.Histogram
@@ -54,8 +68,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"client requests handled, by message kind")
 		m.handleNs[k] = reg.Histogram(
 			`oodb_server_handle_ns{kind="`+label+`"}`,
-			"request handling latency under the server lock, ns, by message kind")
+			"request handling latency, ns, by message kind (commit excludes the group-commit durability wait)")
 	}
+	m.engineLockWaitNs = reg.Histogram("oodb_live_engine_lock_wait_ns",
+		"time spent waiting to acquire the server's engine lock, ns")
+	m.engineLockHoldNs = reg.Histogram("oodb_live_engine_lock_hold_ns",
+		"time the engine lock was held per acquisition, ns")
+	m.commitSyncWaitNs = reg.Histogram("oodb_live_commit_sync_wait_ns",
+		"commit durability (group-commit fsync) wait, off-lock, ns")
 	m.lockWaitPageNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="page"}`,
 		"time blocked requests waited before a grant, ns, by granted granularity")
 	m.lockWaitObjNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="object"}`, "")
@@ -63,8 +83,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"clients called back per callback round")
 	m.leaseExpiries = reg.Counter("oodb_server_lease_expiries_total",
 		"sessions disconnected for exceeding the callback deadline")
+	m.outboxDeposes = reg.Counter("oodb_live_outbox_deposes_total",
+		"sessions deposed for an overflowing outbox (client stopped reading)")
 	m.walAppendNs = reg.Histogram("oodb_wal_append_ns",
-		"WAL append latency (frame encode + write), ns")
+		"WAL append latency (frame write; bodies are encoded off-lock), ns")
 	m.walFsyncNs = reg.Histogram("oodb_wal_fsync_ns",
 		"WAL fsync latency on commit, ns")
 	m.walBytes = reg.Counter("oodb_wal_appended_bytes_total",
@@ -138,6 +160,13 @@ func (s *Server) onEngineTrace(kind obs.EventKind, txn core.TxnID, client core.C
 		}
 	case obs.EvRound:
 		s.metrics.callbackFanout.Observe(extra)
+	case obs.EvRoundCancel:
+		// The round died with this client's answer outstanding; retire
+		// any callback deadline armed for it so the watchdog cannot
+		// depose a client that owes nothing.
+		if sess := s.sessions[client]; sess != nil {
+			delete(sess.cbDue, extra)
+		}
 	case obs.EvCommit, obs.EvAbort, obs.EvDeadlock:
 		delete(s.blockStart, txn)
 	}

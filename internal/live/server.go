@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,13 @@ type ServerOptions struct {
 	// fixed slots. Requires the OS protocol (object transfer), since
 	// clients no longer interpret raw page images.
 	VariableObjects bool
+	// OutboxLimit caps a session's staged outbound messages. A client
+	// that stops draining its connection while callbacks and grants keep
+	// arriving would otherwise grow server memory without bound; at the
+	// cap the server deposes the session (disconnects it through the
+	// normal departure path). 0 means the default (4096); negative
+	// disables the cap.
+	OutboxLimit int
 	// CallbackTimeout bounds how long a client may sit on an outstanding
 	// callback (including the deferred ack after a busy reply) before the
 	// server declares it dead and disconnects it, so one silent client
@@ -78,6 +86,9 @@ func (o *ServerOptions) defaults() {
 	if o.NumPages == 0 {
 		o.NumPages = 1250
 	}
+	if o.OutboxLimit == 0 {
+		o.OutboxLimit = 4096
+	}
 }
 
 // Server is the live page-server DBMS process: it owns the store and log,
@@ -112,24 +123,41 @@ type Server struct {
 	ln net.Listener // optional TCP listener
 }
 
-// session is one attached client. Outgoing messages are appended to the
+// session is one attached client. Outgoing messages are staged on the
 // outbox while the server lock is held (fixing their order to match the
 // engine's processing order) and shipped by a dedicated writer goroutine;
 // per-session FIFO delivery is a correctness requirement of callback
 // locking (a callback must never overtake the data reply it concerns).
+//
+// A staged entry may be reserved before its payload exists: data grants
+// are pushed under the server lock with ready=false, and the payload is
+// attached — and the entry marked ready — after the lock is released
+// (see Server.stage / Server.attachPayloads). The writer ships only the
+// maximal ready prefix, so reserved slots preserve FIFO order without
+// holding the engine lock across store reads.
 type session struct {
 	id   core.ClientID
 	conn Conn
 
 	// cbDue maps an outstanding callback round id to its answer deadline.
-	// Guarded by the server mutex (route arms it, handle clears it, the
-	// watchdog scans it — all under Server.mu).
+	// Guarded by the server mutex (stage arms it, handle clears it, the
+	// engine's round-cancel events retire it, the watchdog scans it — all
+	// under Server.mu).
 	cbDue map[int64]time.Time
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	outbox []core.Msg
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	outbox  []*outEntry
+	closed  bool
+	dropped bool // outbox overflowed; the server is deposing this session
+}
+
+// outEntry is one staged outbound message. msg.Data and ready are written
+// under session.mu (attachPayloads) before the writer reads them (also
+// under session.mu), so the hand-off is properly fenced.
+type outEntry struct {
+	msg   core.Msg
+	ready bool
 }
 
 func newSession(id core.ClientID, conn Conn) *session {
@@ -138,10 +166,37 @@ func newSession(id core.ClientID, conn Conn) *session {
 	return s
 }
 
-// enqueue appends messages for the writer goroutine.
-func (s *session) enqueue(m core.Msg) {
+// push stages one entry. It reports overflow the first time the outbox
+// exceeds limit (limit <= 0: unbounded) — the caller must then depose
+// the session, because an outbox this deep means the client stopped
+// draining its connection and every staged byte is dead weight.
+func (s *session) push(e *outEntry, limit int) (overflow bool) {
 	s.mu.Lock()
-	s.outbox = append(s.outbox, m)
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.outbox = append(s.outbox, e)
+	if limit > 0 && len(s.outbox) > limit && !s.dropped {
+		s.dropped = true
+		overflow = true
+	}
+	s.mu.Unlock()
+	if e.ready {
+		s.cond.Signal()
+	}
+	return overflow
+}
+
+// enqueue appends one ready (payload-complete) message.
+func (s *session) enqueue(m core.Msg) {
+	s.push(&outEntry{msg: m, ready: true}, 0)
+}
+
+// markReady publishes e's payload to the writer and wakes it.
+func (s *session) markReady(e *outEntry) {
+	s.mu.Lock()
+	e.ready = true
 	s.mu.Unlock()
 	s.cond.Signal()
 }
@@ -154,22 +209,30 @@ func (s *session) close() {
 	s.cond.Broadcast()
 }
 
-// writer drains the outbox in order.
+// writer ships the outbox's maximal ready prefix, in order. It parks
+// while the head entry awaits its payload — later ready entries must not
+// overtake it (FIFO).
 func (s *session) writer() {
 	for {
 		s.mu.Lock()
-		for len(s.outbox) == 0 && !s.closed {
+		for !s.closed && (len(s.outbox) == 0 || !s.outbox[0].ready) {
 			s.cond.Wait()
 		}
-		if s.closed && len(s.outbox) == 0 {
+		n := 0
+		for n < len(s.outbox) && s.outbox[n].ready {
+			n++
+		}
+		if n == 0 {
+			// Closed with nothing shippable at the head; any still-staged
+			// entries die with the connection.
 			s.mu.Unlock()
 			return
 		}
-		batch := s.outbox
-		s.outbox = nil
+		batch := s.outbox[:n:n]
+		s.outbox = s.outbox[n:]
 		s.mu.Unlock()
-		for i := range batch {
-			if err := s.conn.Send(&batch[i]); err != nil {
+		for _, e := range batch {
+			if err := s.conn.Send(&e.msg); err != nil {
 				return // connection gone; serve() will detach
 			}
 		}
@@ -358,6 +421,7 @@ func (s *Server) Attach(conn Conn) (core.ClientID, error) {
 	id := s.nextID
 	sess := newSession(id, conn)
 	s.sessions[id] = sess
+	s.wal.SetDemand(len(s.sessions))
 	go sess.writer()
 	s.mu.Unlock()
 
@@ -374,20 +438,25 @@ func (s *Server) Attach(conn Conn) (core.ClientID, error) {
 }
 
 func (s *Server) detach(id core.ClientID) {
-	s.mu.Lock()
+	held := s.lockEngine()
 	sess, ok := s.sessions[id]
 	if !ok || s.closed {
 		s.mu.Unlock()
 		return
 	}
 	delete(s.sessions, id)
-	// Clean up the ghost's protocol state; route any grants this unblocks.
-	s.route(s.eng.Disconnect(id))
-	s.mu.Unlock()
+	s.wal.SetDemand(len(s.sessions))
+	// Clean up the ghost's protocol state; stage any grants this unblocks.
+	staged, overflow := s.stage(s.eng.Disconnect(id))
+	s.unlockEngine(held)
 	sess.close()
 	// Watchdog-initiated detaches must also unblock the serve goroutine,
 	// which is parked in conn.Recv.
 	sess.conn.Close()
+	s.attachPayloads(staged)
+	for _, oid := range overflow {
+		s.detach(oid) // bounded: each recursion removes a session
+	}
 }
 
 // serve pumps one session's incoming messages through the engine.
@@ -404,42 +473,70 @@ func (s *Server) serve(sess *session) {
 	}
 }
 
+// lockEngine acquires the engine lock, recording how long the caller
+// waited for it, and returns the acquisition time for unlockEngine's
+// hold observation. Together the two histograms make the critical
+// section's width observable: hold should cover only the engine step and
+// the WAL frame write, never store I/O or fsyncs.
+func (s *Server) lockEngine() time.Time {
+	t0 := time.Now()
+	s.mu.Lock()
+	t1 := time.Now()
+	s.metrics.engineLockWaitNs.Observe(t1.Sub(t0).Nanoseconds())
+	return t1
+}
+
+// unlockEngine records the hold time since lockEngine and releases.
+func (s *Server) unlockEngine(acquired time.Time) {
+	s.metrics.engineLockHoldNs.Observe(time.Since(acquired).Nanoseconds())
+	s.mu.Unlock()
+}
+
 // handle runs one message through the engine under the server lock and
-// dispatches the responses.
+// dispatches the responses. Everything that does not need the engine's
+// state — WAL body encoding, the commit fsync wait, store payload reads
+// — happens outside the lock.
 func (s *Server) handle(m *core.Msg) {
 	kind := int(m.Kind)
 	if kind < len(msgKindLabels) {
 		s.metrics.reqs[kind].Inc()
 	}
 	start := time.Now()
+	var syncWait time.Duration
 	defer func() {
 		if kind < len(msgKindLabels) {
-			s.metrics.handleNs[kind].Observe(time.Since(start).Nanoseconds())
+			// The group-commit durability wait is fsync scheduling, not
+			// processing; it is recorded separately (commitSyncWaitNs) so
+			// handle latency stays honest.
+			s.metrics.handleNs[kind].Observe((time.Since(start) - syncWait).Nanoseconds())
 		}
 	}()
-	s.mu.Lock()
+
+	// Encode the commit's WAL frame before taking the lock: the record
+	// body is a pure function of the request, and encoding is the
+	// expensive half of an append.
+	var rec *walRecord
+	var frame []byte
+	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
+		rec = &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
+		for _, o := range sortedUpdateKeys(m.Updates) {
+			rec.Objs = append(rec.Objs, o)
+			rec.Images = append(rec.Images, m.Updates[o])
+		}
+		frame = encodeWALFrame(rec)
+	}
+
+	held := s.lockEngine()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	// Callback-deadline bookkeeping: any ack proves the client is alive.
-	// A busy reply defers the real answer to the transaction's end, so it
-	// renews the lease rather than clearing it.
-	if m.Kind == core.MCallbackAck && s.opts.CallbackTimeout > 0 {
-		if sess := s.sessions[m.From]; sess != nil {
-			if m.Busy {
-				sess.cbDue[m.Req] = time.Now().Add(s.opts.CallbackTimeout)
-			} else {
-				delete(sess.cbDue, m.Req)
-			}
-		}
-	}
 
-	// Commit: log afterimages before the engine acks, then install. The
-	// frame write and the store install happen under the server lock, but
-	// the fsync wait does not — commits from other sessions that arrive
-	// during the sync append behind us and ride the next sync as a batch
-	// (group commit). Correctness notes:
+	// Commit: log afterimages before the engine acks, then install. Only
+	// the frame write (offset assignment) and the slot installs happen
+	// under the server lock; the fsync wait does not — commits from other
+	// sessions that arrive during the sync append behind us and ride the
+	// next sync as a batch (group commit). Correctness notes:
 	//
 	//   - acked => durable: the engine only produces MCommitAck after
 	//     WaitDurable returns, and a fail-stop during the sync kills the
@@ -452,13 +549,12 @@ func (s *Server) handle(m *core.Msg) {
 	//     objects on an updated page) can never commit "ahead" of us:
 	//     the WAL is sequential and synced is a prefix offset, so its
 	//     record durable implies ours durable.
-	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
-		rec := &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
-		for _, o := range sortedUpdateKeys(m.Updates) {
-			rec.Objs = append(rec.Objs, o)
-			rec.Images = append(rec.Images, m.Updates[o])
-		}
-		ticket, gen, err := s.wal.append(rec)
+	//   - installs stay under the server lock (not just the page latch)
+	//     so Checkpoint's flush-then-truncate cannot interleave with an
+	//     install: a WAL record is only ever truncated after a store
+	//     flush that covers its installs.
+	if frame != nil {
+		ticket, gen, err := s.wal.appendFrame(frame)
 		if err != nil {
 			if fault.IsCrash(err) {
 				// Injected fail-stop: die before acking the undurable
@@ -476,9 +572,12 @@ func (s *Server) handle(m *core.Msg) {
 				panic(fmt.Sprintf("live: commit install failed: %v", err))
 			}
 		}
-		s.mu.Unlock()
+		s.unlockEngine(held)
+		syncStart := time.Now()
 		err = s.wal.WaitDurable(ticket, gen)
-		s.mu.Lock()
+		syncWait = time.Since(syncStart)
+		s.metrics.commitSyncWaitNs.Observe(syncWait.Nanoseconds())
+		held = s.lockEngine()
 		if err != nil {
 			if !s.closed {
 				if fault.IsCrash(err) {
@@ -498,39 +597,96 @@ func (s *Server) handle(m *core.Msg) {
 		}
 	}
 
-	s.route(s.eng.Handle(m))
-	s.mu.Unlock()
+	staged, overflow := s.stage(s.eng.Handle(m))
+
+	// Callback-deadline bookkeeping, after the engine step: any ack
+	// proves the client is alive, and a busy reply defers the real
+	// answer to the transaction's end — but only while its round is
+	// still live. A busy ack racing a round cancellation (victim
+	// aborted, requester disconnected) must not arm a lease the client
+	// can never discharge.
+	if m.Kind == core.MCallbackAck && s.opts.CallbackTimeout > 0 {
+		if sess := s.sessions[m.From]; sess != nil {
+			delete(sess.cbDue, m.Req)
+			if m.Busy && s.eng.RoundLive(m.Req) {
+				sess.cbDue[m.Req] = time.Now().Add(s.opts.CallbackTimeout)
+			}
+		}
+	}
+
+	s.unlockEngine(held)
+	s.attachPayloads(staged)
+	for _, id := range overflow {
+		s.detach(id)
+	}
 }
 
-// route attaches page/object payloads and enqueues the messages on their
-// sessions' outboxes. It must run under the server lock: the payloads must
-// match the lock state at grant time, and the enqueue order is the wire
-// order.
-func (s *Server) route(outs []core.Msg) {
+// stagedPayload is a reserved outbox slot awaiting its payload.
+type stagedPayload struct {
+	sess *session
+	e    *outEntry
+}
+
+// stage reserves outbox slots for the engine's outputs, in engine order
+// (the wire order), under the server lock. Messages that need no store
+// payload are ready immediately; data grants are staged unready and
+// returned for attachPayloads to fill outside the lock. It also arms
+// callback deadlines and reports sessions whose outbox overflowed (the
+// caller must detach those after releasing the lock).
+func (s *Server) stage(outs []core.Msg) (staged []stagedPayload, overflow []core.ClientID) {
 	for _, om := range outs {
 		sess := s.sessions[om.To]
 		if sess == nil {
 			continue // client departed; detach cleans its state up
 		}
+		e := &outEntry{msg: om}
 		switch om.Kind {
-		case core.MPageData:
-			data, err := s.store.ReadPage(om.Page)
-			if err != nil {
-				panic(fmt.Sprintf("live: page read failed: %v", err))
-			}
-			om.Data = data
-		case core.MObjData:
-			data, err := s.store.ReadObj(om.Obj)
-			if err != nil {
-				panic(fmt.Sprintf("live: object read failed: %v", err))
-			}
-			om.Data = data
+		case core.MPageData, core.MObjData:
+			staged = append(staged, stagedPayload{sess, e})
 		case core.MCallback:
 			if s.opts.CallbackTimeout > 0 {
 				sess.cbDue[om.Req] = time.Now().Add(s.opts.CallbackTimeout)
 			}
+			e.ready = true
+		default:
+			e.ready = true
 		}
-		sess.enqueue(om)
+		if sess.push(e, s.opts.OutboxLimit) {
+			s.metrics.outboxDeposes.Inc()
+			overflow = append(overflow, om.To)
+		}
+	}
+	return staged, overflow
+}
+
+// attachPayloads reads the store payloads for slots stage reserved and
+// publishes them to the session writers. It runs WITHOUT the server
+// lock; the store's page latches (shared here, exclusive in commit
+// installs) keep each copy untorn.
+//
+// The payload still matches the lock state at grant time: a conflicting
+// writer can install new bytes for a granted object only after calling
+// back every registered copy — and the copy was registered under the
+// server lock when this grant was staged. The recipient answers that
+// callback only after its client-side receive loop has consumed this
+// very message, which the FIFO outbox orders behind nothing that hasn't
+// been sent — so the install strictly follows this read. Slots the grant
+// marked Unavail are the one exception: their bytes may move underneath
+// us, but clients never read Unavail slots from a granted page.
+func (s *Server) attachPayloads(staged []stagedPayload) {
+	for _, sp := range staged {
+		var data []byte
+		var err error
+		if sp.e.msg.Kind == core.MPageData {
+			data, err = s.store.ReadPage(sp.e.msg.Page)
+		} else {
+			data, err = s.store.ReadObj(sp.e.msg.Obj)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("live: payload read failed: %v", err))
+		}
+		sp.e.msg.Data = data
+		sp.sess.markReady(sp.e)
 	}
 }
 
@@ -539,16 +695,10 @@ func sortedUpdateKeys(m map[core.ObjID][]byte) []core.ObjID {
 	for o := range m {
 		keys = append(keys, o)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0; j-- {
-			a, b := keys[j], keys[j-1]
-			if a.Page < b.Page || (a.Page == b.Page && a.Slot < b.Slot) {
-				keys[j], keys[j-1] = b, a
-			} else {
-				break
-			}
-		}
-	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		return a.Page < b.Page || (a.Page == b.Page && a.Slot < b.Slot)
+	})
 	return keys
 }
 

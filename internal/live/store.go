@@ -13,10 +13,28 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 )
+
+// latchShards is the page-latch shard count: pages hash onto a fixed set
+// of RWMutexes, trading a little false sharing for a bounded footprint.
+const latchShards = 64
+
+// pageLatches synchronizes the off-lock payload path with commit
+// installs: the server reads page/object payloads for staged grants
+// without holding its engine lock, while commit processing (still under
+// the engine lock) installs afterimages. Readers take the page's latch
+// shared, installs take it exclusive — so a payload is never torn, and
+// because installs also still run under the engine lock, a payload read
+// under the latch is exactly the store state some engine step exposed.
+type pageLatches [latchShards]sync.RWMutex
+
+func (l *pageLatches) shard(p core.PageID) *sync.RWMutex {
+	return &l[uint64(p)%latchShards]
+}
 
 // storeMagic identifies a store file.
 const storeMagic = 0x0DB5_94AA
@@ -42,6 +60,12 @@ type Store struct {
 
 	frames [][]byte
 	dirty  []bool
+
+	// latches synchronizes off-lock payload reads with commit installs
+	// (see pageLatches). Flush and the open/create paths skip it: they
+	// run with installs excluded by the server lock, and concurrent
+	// latched readers never write frame bytes.
+	latches pageLatches
 }
 
 // payload returns the per-page payload size (page minus CRC trailer).
@@ -155,26 +179,37 @@ func (s *Store) checkObj(o core.ObjID) error {
 	return nil
 }
 
-// ReadPage returns a copy of page p's payload.
+// ReadPage returns a copy of page p's payload. Safe to call without the
+// server lock: the page latch (shared) excludes concurrent installs.
 func (s *Store) ReadPage(p core.PageID) ([]byte, error) {
 	if err := s.checkPage(p); err != nil {
 		return nil, err
 	}
-	return append([]byte(nil), s.frames[p]...), nil
+	l := s.latches.shard(p)
+	l.RLock()
+	out := append([]byte(nil), s.frames[p]...)
+	l.RUnlock()
+	return out, nil
 }
 
-// ReadObj returns a copy of object o's bytes.
+// ReadObj returns a copy of object o's bytes. Safe to call without the
+// server lock (see ReadPage).
 func (s *Store) ReadObj(o core.ObjID) ([]byte, error) {
 	if err := s.checkObj(o); err != nil {
 		return nil, err
 	}
 	sz := s.ObjSize()
 	off := int(o.Slot) * sz
-	return append([]byte(nil), s.frames[o.Page][off:off+sz]...), nil
+	l := s.latches.shard(o.Page)
+	l.RLock()
+	out := append([]byte(nil), s.frames[o.Page][off:off+sz]...)
+	l.RUnlock()
+	return out, nil
 }
 
 // WriteObj installs an object afterimage (data must be at most ObjSize;
-// shorter images are zero-padded).
+// shorter images are zero-padded). The exclusive page latch fences the
+// bytes against concurrent off-lock payload readers.
 func (s *Store) WriteObj(o core.ObjID, data []byte) error {
 	if err := s.checkObj(o); err != nil {
 		return err
@@ -184,12 +219,15 @@ func (s *Store) WriteObj(o core.ObjID, data []byte) error {
 		return fmt.Errorf("live: object %v image %d bytes exceeds slot size %d", o, len(data), sz)
 	}
 	off := int(o.Slot) * sz
+	l := s.latches.shard(o.Page)
+	l.Lock()
 	slot := s.frames[o.Page][off : off+sz]
 	n := copy(slot, data)
 	for i := n; i < sz; i++ {
 		slot[i] = 0
 	}
 	s.dirty[o.Page] = true
+	l.Unlock()
 	return nil
 }
 
@@ -201,8 +239,11 @@ func (s *Store) WritePage(p core.PageID, data []byte) error {
 	if len(data) != s.payload() {
 		return fmt.Errorf("live: page image %d bytes, want %d", len(data), s.payload())
 	}
+	l := s.latches.shard(p)
+	l.Lock()
 	copy(s.frames[p], data)
 	s.dirty[p] = true
+	l.Unlock()
 	return nil
 }
 

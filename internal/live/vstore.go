@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -34,6 +35,14 @@ type VStore struct {
 	pageSize    int
 	objsPerPage int
 	numPages    int // home pages; overflow pages live beyond
+
+	// mu synchronizes off-lock payload reads with installs. Unlike the
+	// fixed-slot Store's sharded per-page latches, VStore uses one
+	// store-wide RWMutex: an install can compact its page, relocate the
+	// object across the overflow region, and grow the frame table — a
+	// single write may touch several pages plus the frames slice header,
+	// so a per-page latch could not cover it. Readers still share.
+	mu sync.RWMutex
 
 	frames [][]byte // encoded page payloads, including overflow pages
 	dirty  []bool
@@ -295,12 +304,16 @@ func (s *VStore) writeFwd(frame []byte, off int, a objAddr) {
 	binary.LittleEndian.PutUint16(frame[off+6:], 0)
 }
 
-// ReadVObj returns the current bytes of the object (nil if never written).
+// ReadVObj returns the current bytes of the object (nil if never
+// written). Safe to call without the server lock: the store-wide read
+// latch excludes concurrent installs.
 func (s *VStore) ReadVObj(page, slot int) ([]byte, error) {
 	home := objAddr{page, slot}
 	if err := s.checkHome(home); err != nil {
 		return nil, err
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	frame := s.frames[home.page]
 	off, ln := s.slotAt(frame, home.slot)
 	if off == slotEmpty {
@@ -321,11 +334,15 @@ func (s *VStore) ReadVObj(page, slot int) ([]byte, error) {
 // IsForwarded reports whether the object currently lives in the overflow
 // region (diagnostics and tests).
 func (s *VStore) IsForwarded(page, slot int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	off, ln := s.slotAt(s.frames[page], slot)
 	return off != slotEmpty && ln == fwdLen
 }
 
 // WriteVObj installs a new value for the object, relocating as needed.
+// The exclusive store latch fences every page it may touch (home,
+// overflow, frame-table growth) against off-lock payload readers.
 func (s *VStore) WriteVObj(page, slot int, data []byte) error {
 	home := objAddr{page, slot}
 	if err := s.checkHome(home); err != nil {
@@ -334,6 +351,8 @@ func (s *VStore) WriteVObj(page, slot int, data []byte) error {
 	if len(data) > s.MaxObjSize() {
 		return fmt.Errorf("live: object %d bytes exceeds max %d", len(data), s.MaxObjSize())
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	frame := s.frames[home.page]
 	off, ln := s.slotAt(frame, home.slot)
 
@@ -443,7 +462,11 @@ func (s *VStore) freeSlotIn(p int) int {
 }
 
 // OverflowPages returns the current overflow region size (diagnostics).
-func (s *VStore) OverflowPages() int { return len(s.frames) - s.numPages }
+func (s *VStore) OverflowPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.frames) - s.numPages
+}
 
 // Flush writes dirty pages with checksums and syncs. It traverses the
 // same crash points as Store.Flush (see internal/fault).

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +48,16 @@ var (
 // discarded the unsynced tail.
 var errWALCrashed = errors.New("live: WAL crashed")
 
+// adaptiveLinger is how long the sync leader waits for followers when
+// group commit is starved (see shouldLinger). A few CPU-bound commit
+// round-trips fit in this window, which is enough to seed a batch; from
+// there batching is self-reinforcing (a bigger batch means a longer
+// fsync, which collects an even bigger batch behind it).
+const adaptiveLinger = 200 * time.Microsecond
+
+// SetDemand updates the concurrency hint (see the demand field).
+func (w *WAL) SetDemand(n int) { w.demand.Store(int32(n)) }
+
 // walRecord is one logged transaction.
 type walRecord struct {
 	Txn    core.TxnID
@@ -65,10 +76,20 @@ type WAL struct {
 	// tests turn it off). Set before serving; not data-race guarded.
 	SyncOnCommit bool
 	// GroupCommitWindow, when > 0, makes the sync leader linger that long
-	// before fsyncing so more followers can join the batch. 0 syncs
-	// immediately — batching then comes only from fsyncs already in
-	// flight, which keeps the uncontended commit latency at one fsync.
+	// before fsyncing so more followers can join the batch. 0 selects the
+	// adaptive policy: linger adaptiveLinger when the demand hint says
+	// other sessions could commit concurrently, sync immediately
+	// otherwise — so a lone committer keeps one-fsync latency.
 	GroupCommitWindow time.Duration
+
+	// demand is the host's concurrency hint (the live server keeps it at
+	// its session count). Group commit without a linger is bistable: a
+	// solo fsync is fast, which shrinks the window in which other commits
+	// can append behind it, which keeps every fsync solo — the system
+	// locks into one fsync per commit even with dozens of committers.
+	// Lingering only when demand > 1 breaks that feedback loop without
+	// taxing single-session latency.
+	demand atomic.Int32
 
 	// mu guards the offsets and group-commit state below. Append and
 	// Truncate additionally run under the server lock; WaitDurable does
@@ -91,6 +112,9 @@ type WAL struct {
 	// recsSinceSync counts records appended since the last sync target
 	// snapshot — the next batch's size.
 	recsSinceSync int
+	// batchEMA is an exponential moving average of recent batch sizes in
+	// 1/16ths (fixed point), used by shouldLinger to detect starvation.
+	batchEMA int
 
 	// metrics, when set, observes append/fsync latency and log growth.
 	metrics *serverMetrics
@@ -123,14 +147,11 @@ func OpenWAL(path string) (*WAL, []*walRecord, error) {
 	return w, recs, nil
 }
 
-// append writes one committed transaction's frame without syncing. The
-// returned (ticket, gen) identify the durability point to wait on.
-// Callers serialize appends (the server lock does this).
-func (w *WAL) append(rec *walRecord) (ticket, gen int64, err error) {
-	if err := cpWALPreFrame.Check(); err != nil {
-		return 0, 0, err
-	}
-	start := time.Now()
+// encodeWALFrame encodes rec into a complete length+CRC frame. It takes
+// no locks, so the server encodes commit bodies before entering its
+// critical section — only the offset assignment and the frame write
+// (appendFrame) remain serialized.
+func encodeWALFrame(rec *walRecord) []byte {
 	bp := encBufPool.Get().(*[]byte)
 	body := appendWALRecord((*bp)[:0], rec)
 	frame := make([]byte, 8+len(body))
@@ -139,6 +160,24 @@ func (w *WAL) append(rec *walRecord) (ticket, gen int64, err error) {
 	copy(frame[8:], body)
 	*bp = body
 	encBufPool.Put(bp)
+	return frame
+}
+
+// append encodes and writes one committed transaction's frame without
+// syncing — the convenience path (tests, tools). The server's commit path
+// calls encodeWALFrame off-lock and appendFrame under its lock.
+func (w *WAL) append(rec *walRecord) (ticket, gen int64, err error) {
+	return w.appendFrame(encodeWALFrame(rec))
+}
+
+// appendFrame writes a pre-encoded frame without syncing. The returned
+// (ticket, gen) identify the durability point to wait on. Callers
+// serialize appends (the server lock does this).
+func (w *WAL) appendFrame(frame []byte) (ticket, gen int64, err error) {
+	if err := cpWALPreFrame.Check(); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -195,16 +234,40 @@ func (w *WAL) WaitDurable(ticket, gen int64) error {
 
 // leadSync runs one group fsync as the leader. Called with w.mu held;
 // releases it around the sleep/fsync and reacquires before returning.
+// shouldLinger reports whether the sync leader should wait for followers
+// before fsyncing (mu held). Lingering is a trade: it grows the batch but
+// stalls the disk, collapsing the append/fsync pipeline into lockstep —
+// at moderate concurrency the pipeline alone batches well and the linger
+// only hurts. So linger only when batching is starved relative to the
+// offered concurrency: the recent average batch has captured less than a
+// quarter of the sessions that could commit together. That is exactly the
+// degenerate regime group commit falls into on its own (a solo fsync is
+// fast, so nobody appends behind it, so the next fsync is solo too); one
+// lingered sync re-seeds the batch and the check switches back off.
+func (w *WAL) shouldLinger() bool {
+	d := int(w.demand.Load())
+	return d > 1 && w.batchEMA < d*16/4
+}
+
 func (w *WAL) leadSync() {
 	w.syncing = true
-	if w.GroupCommitWindow > 0 {
+	linger := w.GroupCommitWindow
+	if linger == 0 && w.shouldLinger() {
+		linger = adaptiveLinger
+	}
+	if linger > 0 {
 		// Linger so concurrent committers can append into this batch.
 		w.mu.Unlock()
-		time.Sleep(w.GroupCommitWindow)
+		time.Sleep(linger)
 		w.mu.Lock()
 	}
 	target, batch, tgen := w.off, w.recsSinceSync, w.gen
 	w.recsSinceSync = 0
+	if w.batchEMA == 0 {
+		w.batchEMA = batch * 16
+	} else {
+		w.batchEMA += (batch*16 - w.batchEMA) / 4
+	}
 	w.mu.Unlock()
 
 	start := time.Now()

@@ -64,6 +64,14 @@ func Pipe() (Conn, Conn) {
 }
 
 func (c *chanConn) Send(m *core.Msg) error {
+	// Check done first: a two-way select picks randomly when the buffer
+	// has room AND the pipe is closed, which would make Send on a dead
+	// connection succeed nondeterministically.
+	select {
+	case <-c.done:
+		return fmt.Errorf("live: connection closed")
+	default:
+	}
 	select {
 	case c.out <- m:
 		return nil

@@ -28,12 +28,13 @@ const (
 	EvDeadlock              // chosen as deadlock victim
 	EvDeesc                 // de-escalation requested from the page-X holder
 	EvLeaseExpiry           // client deposed for an overdue callback answer
+	EvRoundCancel           // round cancelled with Client's answer outstanding (Extra: round id)
 )
 
 var eventKindNames = [...]string{
 	"none", "begin", "lock-request", "block", "grant", "round", "callback-sent",
 	"callback-acked", "commit", "abort", "deadlock-victim", "deesc-request",
-	"lease-expiry",
+	"lease-expiry", "round-cancel",
 }
 
 func (k EventKind) String() string {

@@ -120,7 +120,7 @@ func TestTracerConcurrent(t *testing.T) {
 }
 
 func TestEventKindStrings(t *testing.T) {
-	for k := EvNone; k <= EvLeaseExpiry; k++ {
+	for k := EvNone; k <= EvRoundCancel; k++ {
 		if s := k.String(); s == "EventKind(?)" || s == "" {
 			t.Fatalf("kind %d has no name", k)
 		}
