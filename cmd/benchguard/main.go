@@ -11,6 +11,27 @@
 // deterministic, so the tolerance is tight). -max-slower bounds the
 // ns/op increase; 0 disables it (wall-clock is noisy across CI hosts, so
 // callers opt in with a loose bound).
+//
+// Baselines are compared like-for-like on core count: a run benched at
+// GOMAXPROCS=4 must not be judged against numbers recorded at
+// GOMAXPROCS=1 (the sharded engine makes the two genuinely different
+// machines). -gomaxprocs N restricts the baseline to runs recorded at N;
+// the default (0) uses this process's GOMAXPROCS. -gomaxprocs -1 accepts
+// any recorded run (the pre-shard behavior).
+//
+// Multi-core scaling is guarded directly, without a recorded baseline:
+//
+//	GOMAXPROCS=1 go test -bench 'LiveCommit/clients=32' ... | tee /tmp/1core.txt
+//	GOMAXPROCS=4 go test -bench 'LiveCommit/clients=32' ... | benchguard -scale-base /tmp/1core.txt -min-scale 1.8
+//
+// compares the txn/s of every benchmark present in both outputs and
+// fails if current/base < min-scale; both runs happen on the same host
+// in the same CI job, so the ratio is noise-resistant in a way absolute
+// numbers are not.
+//
+// -record FILE appends stdin's parsed measurements to a benchjson file
+// (stamped with this process's GOMAXPROCS/NumCPU and -note), so the run
+// that passed the guard becomes the next baseline candidate.
 package main
 
 import (
@@ -18,9 +39,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchjson"
 )
 
 // benchFile mirrors the slice of the benchjson file that benchguard
@@ -28,53 +53,99 @@ import (
 type benchFile struct {
 	Runs []struct {
 		Timestamp  string `json:"timestamp"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
 		Benchmarks map[string]struct {
 			NsPerOp     float64 `json:"ns_per_op"`
 			BytesPerOp  float64 `json:"bytes_per_op"`
 			AllocsPerOp float64 `json:"allocs_per_op"`
+			OpsPerSec   float64 `json:"ops_per_sec"`
+			P99Ns       float64 `json:"p99_ns"`
 		} `json:"benchmarks"`
 	} `json:"runs"`
 }
 
 // measurement is one parsed benchmark result line.
 type measurement struct {
-	nsPerOp float64
-	allocs  float64 // -1 when the line had no -benchmem columns
+	nsPerOp   float64
+	bytesOp   float64
+	allocs    float64 // -1 when the line had no -benchmem columns
+	opsPerSec float64 // the live benches' "txn/s" ReportMetric column
+	p99Ns     float64 // "p99-commit-ns"
+	procs     int     // the -N name suffix: the run's GOMAXPROCS
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_figures.json", "baseline file")
 	maxRegress := flag.Float64("max-regress", 5.0, "max allowed allocs/op regression, percent")
 	maxSlower := flag.Float64("max-slower", 0, "max allowed ns/op regression, percent (0 disables)")
+	gomaxprocs := flag.Int("gomaxprocs", 0,
+		"only compare against baseline runs recorded at this GOMAXPROCS (0 = this process's; -1 = any)")
+	scaleBase := flag.String("scale-base", "",
+		"bench output file to compute txn/s scaling against (skips the -baseline comparison)")
+	minScale := flag.Float64("min-scale", 0,
+		"with -scale-base: fail if current txn/s / base txn/s < this for any shared benchmark")
+	record := flag.String("record", "",
+		"append stdin's parsed measurements to this benchjson file after the checks pass")
+	note := flag.String("note", "", "label recorded with -record (what changed)")
 	flag.Parse()
 
-	raw, err := os.ReadFile(*baselinePath)
+	current, err := parseBenchOutput(os.Stdin, true)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (did the bench run?)"))
+	}
+
+	failed := false
+	if *scaleBase != "" {
+		failed = checkScaling(*scaleBase, current, *minScale)
+	} else {
+		failed = checkBaseline(*baselinePath, current, *maxRegress, *maxSlower, *gomaxprocs)
+	}
+	if !failed && *record != "" {
+		if err := recordRuns(*record, current, *note); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkBaseline compares current against the latest recorded like-for-like
+// run in the benchjson file; returns true on regression.
+func checkBaseline(path string, current map[string]measurement, maxRegress, maxSlower float64, procsWant int) bool {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
 	var bf benchFile
 	if err := json.Unmarshal(raw, &bf); err != nil {
-		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+		fatal(fmt.Errorf("parse %s: %w", path, err))
 	}
-	// Latest run that recorded a given benchmark wins.
+	if procsWant == 0 {
+		procsWant = runtime.GOMAXPROCS(0)
+	}
+	// Latest matching run that recorded a given benchmark wins. Runs
+	// recorded before the gomaxprocs field existed (0) always match, so
+	// old baselines keep guarding until like-for-like ones land.
 	baseAllocs := map[string]float64{}
 	baseNs := map[string]float64{}
+	matched := 0
 	for _, run := range bf.Runs {
+		if procsWant > 0 && run.GOMAXPROCS != 0 && run.GOMAXPROCS != procsWant {
+			continue
+		}
+		matched++
 		for name, b := range run.Benchmarks {
 			baseAllocs[name] = b.AllocsPerOp
 			baseNs[name] = b.NsPerOp
 		}
 	}
 	if len(baseAllocs) == 0 {
-		fatal(fmt.Errorf("no benchmark baselines in %s", *baselinePath))
-	}
-
-	current, err := parseBenchOutput(os.Stdin)
-	if err != nil {
-		fatal(err)
-	}
-	if len(current) == 0 {
-		fatal(fmt.Errorf("no benchmark results on stdin (did the bench run?)"))
+		fatal(fmt.Errorf("no benchmark baselines in %s (runs matching gomaxprocs=%d: %d)",
+			path, procsWant, matched))
 	}
 
 	failed := false
@@ -87,18 +158,18 @@ func main() {
 		if m.allocs >= 0 {
 			deltaPct := (m.allocs - base) / base * 100
 			status := "ok"
-			if deltaPct > *maxRegress {
+			if deltaPct > maxRegress {
 				status = "FAIL"
 				failed = true
 			}
 			fmt.Printf("benchguard: %-50s %10.0f allocs/op (baseline %.0f, %+.2f%%) %s\n",
 				name, m.allocs, base, deltaPct, status)
 		}
-		if *maxSlower > 0 {
+		if maxSlower > 0 {
 			if bns := baseNs[name]; bns > 0 && m.nsPerOp > 0 {
 				deltaPct := (m.nsPerOp - bns) / bns * 100
 				status := "ok"
-				if deltaPct > *maxSlower {
+				if deltaPct > maxSlower {
 					status = "FAIL"
 					failed = true
 				}
@@ -110,20 +181,88 @@ func main() {
 	if failed {
 		fmt.Fprintf(os.Stderr,
 			"benchguard: regression beyond allowed bounds (allocs/op > %.1f%% or ns/op > %.1f%%)\n",
-			*maxRegress, *maxSlower)
-		os.Exit(1)
+			maxRegress, maxSlower)
 	}
+	return failed
 }
 
-// parseBenchOutput extracts "BenchmarkName-N  iters  X ns/op  Y B/op  Z
-// allocs/op" lines, keyed by the benchmark name with the -GOMAXPROCS
-// suffix stripped (baselines are recorded without it).
-func parseBenchOutput(f *os.File) (map[string]measurement, error) {
+// checkScaling compares current txn/s against the bench output recorded
+// in baseFile (same benchmarks, different GOMAXPROCS) and fails when the
+// ratio falls below minScale; returns true on failure.
+func checkScaling(baseFile string, current map[string]measurement, minScale float64) bool {
+	f, err := os.Open(baseFile)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := parseBenchOutput(f, false)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	compared := 0
+	for name, cur := range current {
+		b, ok := base[name]
+		if !ok || b.opsPerSec <= 0 || cur.opsPerSec <= 0 {
+			continue
+		}
+		compared++
+		ratio := cur.opsPerSec / b.opsPerSec
+		status := "ok"
+		if ratio < minScale {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-50s %9.0f txn/s at GOMAXPROCS=%d vs %.0f at GOMAXPROCS=%d: %.2fx (want >= %.2fx) %s\n",
+			name, cur.opsPerSec, cur.procs, b.opsPerSec, b.procs, ratio, minScale, status)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no shared txn/s benchmarks between stdin and %s", baseFile))
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: multi-core scaling below %.2fx\n", minScale)
+	}
+	return failed
+}
+
+// recordRuns appends the parsed measurements as one benchjson run.
+func recordRuns(path string, current map[string]measurement, note string) error {
+	run := benchjson.NewRun()
+	run.Note = note
+	run.Benchmarks = make(map[string]benchjson.Benchmark, len(current))
+	for name, m := range current {
+		b := benchjson.Benchmark{
+			NsPerOp:   m.nsPerOp,
+			OpsPerSec: m.opsPerSec,
+			P99Ns:     m.p99Ns,
+		}
+		if m.allocs >= 0 {
+			b.AllocsPerOp = m.allocs
+			b.BytesPerOp = m.bytesOp
+		}
+		run.Benchmarks[name] = b
+	}
+	if err := benchjson.Append(path, run); err != nil {
+		return err
+	}
+	fmt.Printf("benchguard: recorded %d benchmarks to %s (gomaxprocs=%d)\n",
+		len(run.Benchmarks), path, run.GOMAXPROCS)
+	return nil
+}
+
+// parseBenchOutput extracts "BenchmarkName-N  iters  X ns/op ..." lines
+// (including ReportMetric columns like "txn/s" and "p99-commit-ns"),
+// keyed by the benchmark name with the -GOMAXPROCS suffix stripped
+// (baselines are recorded without it); the suffix itself is kept as the
+// measurement's procs.
+func parseBenchOutput(f io.Reader, echo bool) (map[string]measurement, error) {
 	out := map[string]measurement{}
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // echo so CI logs keep the raw bench output
+		if echo {
+			fmt.Println(line) // echo so CI logs keep the raw bench output
+		}
 		if !strings.HasPrefix(line, "Benchmark") {
 			continue
 		}
@@ -131,17 +270,35 @@ func parseBenchOutput(f *os.File) (map[string]measurement, error) {
 		m := measurement{allocs: -1}
 		for i := 1; i < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i-1], 64)
+			bad := func(what string) error {
+				return fmt.Errorf("bad %s in %q: %w", what, line, err)
+			}
 			switch fields[i] {
 			case "allocs/op":
 				if err != nil {
-					return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+					return nil, bad("allocs/op")
 				}
 				m.allocs = v
 			case "ns/op":
 				if err != nil {
-					return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+					return nil, bad("ns/op")
 				}
 				m.nsPerOp = v
+			case "B/op":
+				if err != nil {
+					return nil, bad("B/op")
+				}
+				m.bytesOp = v
+			case "txn/s":
+				if err != nil {
+					return nil, bad("txn/s")
+				}
+				m.opsPerSec = v
+			case "p99-commit-ns":
+				if err != nil {
+					return nil, bad("p99-commit-ns")
+				}
+				m.p99Ns = v
 			}
 		}
 		if m.allocs < 0 && m.nsPerOp == 0 {
@@ -150,8 +307,9 @@ func parseBenchOutput(f *os.File) (map[string]measurement, error) {
 		name := fields[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
 			// Strip the -GOMAXPROCS suffix iff numeric.
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if procs, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				m.procs = procs
 			}
 		}
 		out[name] = m

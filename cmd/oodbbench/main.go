@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,8 @@ func main() {
 	writes := flag.Int("writes", 2, "object updates per transaction")
 	pages := flag.Int("pages", 256, "database pages (in-process)")
 	hot := flag.Bool("hot", false, "give each client a private hot region (HOTCOLD-like)")
+	shards := flag.Int("shards", 0,
+		"engine shards for the in-process server (0 = min(8, GOMAXPROCS), honoring OODB_SHARDS)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	rto := flag.Duration("request-timeout", 0,
 		"per-request deadline for remote clients (0 = wait forever)")
@@ -65,7 +68,7 @@ func main() {
 		}
 		defer os.RemoveAll(dir)
 		cluster, err := repro.NewCluster(dir, repro.ClusterOptions{
-			Proto: p, Clients: 0, NumPages: *pages, Metrics: reg,
+			Proto: p, Clients: 0, NumPages: *pages, Shards: *shards, Metrics: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -74,6 +77,8 @@ func main() {
 		connect = cluster.AttachClient
 		statsFn = cluster.Server().Stats
 		numPages, objsPerPage, _ = cluster.Server().Geometry()
+		fmt.Printf("oodbbench: in-process server with %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
+			cluster.Server().NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 	} else {
 		opts := repro.ClientOptions{RequestTimeout: *rto, Metrics: reg}
 		if *reconnect {

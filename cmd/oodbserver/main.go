@@ -14,6 +14,9 @@
 //	-pagesize          existing database keeps its on-disk geometry
 //	-nosync            do not fsync the WAL per commit (faster, unsafe:
 //	                   acknowledged commits may be lost on a crash)
+//	-shards            engine shards by page hash (power of two, max 64;
+//	                   0 = min(8, GOMAXPROCS), honoring OODB_SHARDS;
+//	                   1 = the unsharded engine)
 //	-group-commit-window
 //	                   linger before each WAL fsync so concurrent commits
 //	                   share it (0 = sync immediately)
@@ -39,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,6 +58,9 @@ func main() {
 	objsPerPage := flag.Int("objs", 20, "objects per page (creation only)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes (creation only)")
 	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
+	shards := flag.Int("shards", 0,
+		"engine shards by page hash (rounded down to a power of two; "+
+			"0 = min(8, GOMAXPROCS), honoring OODB_SHARDS; 1 = unsharded)")
 	gcWindow := flag.Duration("group-commit-window", 0,
 		"linger this long before each WAL fsync so concurrent commits share it "+
 			"(0 = sync immediately; batching still happens under load)")
@@ -73,13 +80,14 @@ func main() {
 	srv, err := live.OpenServer(*dir, live.ServerOptions{
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
 		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
+		Shards: *shards,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	np, opp, osz := srv.Geometry()
-	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each)\n",
-		p, *addr, np, opp, osz)
+	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each), %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
+		p, *addr, np, opp, osz, srv.NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	srv.Tracer().SetEnabled(*trace)
 	if *admin != "" {

@@ -30,6 +30,11 @@ type ServerEngine struct {
 	deesc     map[PageID]bool
 	tokens    map[PageID]*stxn // PS-WT: per-page write token holder
 	nextRound int64
+	// roundStride is the round-id increment (default 1). Hosts that run
+	// several engines side by side (the live server's page-range shards)
+	// stripe the id space so round ids stay globally unique — they key
+	// callback-deadline maps and client acks across engine boundaries.
+	roundStride int64
 
 	out []Msg
 
@@ -105,6 +110,24 @@ func (c *ServerCounters) Snapshot() ServerStats {
 	}
 }
 
+// Add accumulates another snapshot into s (summing across engine
+// shards).
+func (s *ServerStats) Add(o ServerStats) {
+	s.Deadlocks += o.Deadlocks
+	s.Rounds += o.Rounds
+	s.Callbacks += o.Callbacks
+	s.BusyReplies += o.BusyReplies
+	s.Deescalations += o.Deescalations
+	s.PageGrants += o.PageGrants
+	s.ObjGrants += o.ObjGrants
+	s.Blocks += o.Blocks
+	s.TokenWaits += o.TokenWaits
+	s.ReadReqs += o.ReadReqs
+	s.WriteReqs += o.WriteReqs
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+}
+
 // trace emits a protocol event to the Trace hook, if any.
 func (se *ServerEngine) trace(kind obs.EventKind, txn TxnID, client ClientID, obj ObjID, extra int64) {
 	if se.Trace != nil {
@@ -156,6 +179,8 @@ func NewServerEngine(proto Protocol, layout *Layout) *ServerEngine {
 		queues:    make(map[PageID][]*blockedReq),
 		deesc:     make(map[PageID]bool),
 		tokens:    make(map[PageID]*stxn),
+
+		roundStride: 1,
 	}
 }
 
@@ -192,6 +217,23 @@ func (se *ServerEngine) TakeMergeObjs() int64 {
 	n := se.mergeObjs
 	se.mergeObjs = 0
 	return n
+}
+
+// ConfigureRoundIDs stripes the callback-round id space: the engine's
+// rounds get ids first, first+stride, first+2*stride, ... Hosts running
+// several engines side by side (page-range shards) give shard i
+// (first=i+1, stride=n) so round ids stay globally unique — clients key
+// callback deadlines and acks by round id with no notion of shards.
+// Must be called before the first Handle. The default is (1, 1).
+func (se *ServerEngine) ConfigureRoundIDs(first, stride int64) {
+	if first < 1 || stride < 1 {
+		panic("core: ConfigureRoundIDs wants first >= 1, stride >= 1")
+	}
+	if len(se.rounds) > 0 || se.nextRound != 0 {
+		panic("core: ConfigureRoundIDs after rounds started")
+	}
+	se.nextRound = first - stride
+	se.roundStride = stride
 }
 
 // ActiveTxns returns the number of transactions the server is tracking.
@@ -240,20 +282,28 @@ func (se *ServerEngine) getTxn(t TxnID, c ClientID) *stxn {
 
 // processDropped applies piggybacked cache eviction notices.
 func (se *ServerEngine) processDropped(m *Msg) {
+	se.ApplyDropped(m.From, m.DroppedPages, m.DroppedObjs)
+}
+
+// ApplyDropped applies cache eviction notices from client c: the client
+// no longer caches the listed pages/objects, so the copy table forgets
+// them. Sharded hosts call this directly, routing each page to the
+// engine that owns it, before dispatching the stripped message.
+func (se *ServerEngine) ApplyDropped(c ClientID, pages []PageID, objs []ObjID) {
 	if se.Copies.ObjGranularity() {
-		for _, o := range m.DroppedObjs {
-			se.Copies.UnregisterObj(m.From, o, NoEpoch)
+		for _, o := range objs {
+			se.Copies.UnregisterObj(c, o, NoEpoch)
 		}
 		// PS-OO evicts whole pages client-side but registers per object.
-		for _, p := range m.DroppedPages {
+		for _, p := range pages {
 			for s := 0; s < se.Layout.ObjsPerPage; s++ {
-				se.Copies.UnregisterObj(m.From, ObjID{Page: p, Slot: uint16(s)}, NoEpoch)
+				se.Copies.UnregisterObj(c, ObjID{Page: p, Slot: uint16(s)}, NoEpoch)
 			}
 		}
 		return
 	}
-	for _, p := range m.DroppedPages {
-		se.Copies.UnregisterPage(m.From, p, NoEpoch)
+	for _, p := range pages {
+		se.Copies.UnregisterPage(c, p, NoEpoch)
 	}
 }
 

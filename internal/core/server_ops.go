@@ -319,7 +319,7 @@ func (se *ServerEngine) grantObjX(m *Msg) {
 // ---- Callback rounds ----
 
 func (se *ServerEngine) startRound(r *blockedReq, kind CallbackKind, holders []ClientID) {
-	se.nextRound++
+	se.nextRound += se.roundStride
 	rd := &round{
 		id:      se.nextRound,
 		req:     r.msg,
@@ -494,9 +494,19 @@ func (se *ServerEngine) handleDeescReply(m *Msg) {
 
 // ---- Commit / abort ----
 
-func (se *ServerEngine) handleCommit(m *Msg) {
-	se.Stats.Commits.Add(1)
-	se.trace(obs.EvCommit, m.Txn, m.From, ObjID{}, int64(len(m.Objs)))
+func (se *ServerEngine) handleCommit(m *Msg) { se.commitShard(m, true) }
+
+// commitShard is handleCommit parameterized for sharded hosts: each
+// engine owning part of the write set releases its locks and does its
+// merge accounting, but exactly one shard — the owner — counts the
+// commit, traces it, and emits the MCommitAck (so the client sees one
+// ack and monitors count one commit). owner=true is the whole-engine
+// case.
+func (se *ServerEngine) commitShard(m *Msg, owner bool) {
+	if owner {
+		se.Stats.Commits.Add(1)
+		se.trace(obs.EvCommit, m.Txn, m.From, ObjID{}, int64(len(m.Objs)))
+	}
 	t := se.txns[m.Txn]
 	if t != nil && (t.blocked != nil || t.round != nil) {
 		panic("core: commit from a blocked transaction")
@@ -518,12 +528,21 @@ func (se *ServerEngine) handleCommit(m *Msg) {
 		}
 	}
 	se.finishTxn(m.Txn)
-	se.send(Msg{Kind: MCommitAck, To: m.From, Txn: m.Txn, Req: m.Req})
+	if owner {
+		se.send(Msg{Kind: MCommitAck, To: m.From, Txn: m.Txn, Req: m.Req})
+	}
 }
 
-func (se *ServerEngine) handleAbort(m *Msg) {
-	se.Stats.Aborts.Add(1)
-	se.trace(obs.EvAbort, m.Txn, m.From, ObjID{}, 0)
+func (se *ServerEngine) handleAbort(m *Msg) { se.abortShard(m, true) }
+
+// abortShard is handleAbort parameterized for sharded hosts; see
+// commitShard. The caller subsets PurgedPages/PurgedObjs to this
+// engine's pages; only the owner counts and traces the abort.
+func (se *ServerEngine) abortShard(m *Msg, owner bool) {
+	if owner {
+		se.Stats.Aborts.Add(1)
+		se.trace(obs.EvAbort, m.Txn, m.From, ObjID{}, 0)
+	}
 	t := se.txns[m.Txn]
 	roundPage := InvalidPage
 	if t != nil {
@@ -537,20 +556,7 @@ func (se *ServerEngine) handleAbort(m *Msg) {
 		}
 	}
 	// Deregister the copies the client purged while aborting.
-	if se.Copies.ObjGranularity() {
-		for _, o := range m.PurgedObjs {
-			se.Copies.UnregisterObj(m.From, o, NoEpoch)
-		}
-		for _, p := range m.PurgedPages {
-			for s := 0; s < se.Layout.ObjsPerPage; s++ {
-				se.Copies.UnregisterObj(m.From, ObjID{Page: p, Slot: uint16(s)}, NoEpoch)
-			}
-		}
-	} else {
-		for _, p := range m.PurgedPages {
-			se.Copies.UnregisterPage(m.From, p, NoEpoch)
-		}
-	}
+	se.ApplyDropped(m.From, m.PurgedPages, m.PurgedObjs)
 	se.finishTxn(m.Txn)
 	// The cancelled round may have been blocking requests on its page
 	// (which the victim held no locks on, so finishTxn did not retry it).
@@ -639,6 +645,28 @@ func (se *ServerEngine) retryQueue(p PageID) {
 	}
 }
 
+// ---- Sharded hosts (live system) ----
+
+// HandleCommitShard processes a commit on one engine of a sharded host.
+// The caller routes the message to every shard owning part of the write
+// set (with Objs subset to this shard's pages; Pages may be passed whole
+// — foreign pages hold no locks here and contribute nothing) and marks
+// exactly one shard as owner; see commitShard. The returned slice is
+// reused across calls, like Handle's.
+func (se *ServerEngine) HandleCommitShard(m *Msg, owner bool) []Msg {
+	se.out = se.out[:0]
+	se.commitShard(m, owner)
+	return se.out
+}
+
+// HandleAbortShard is HandleCommitShard's abort counterpart; the caller
+// subsets PurgedPages/PurgedObjs to this shard's pages.
+func (se *ServerEngine) HandleAbortShard(m *Msg, owner bool) []Msg {
+	se.out = se.out[:0]
+	se.abortShard(m, owner)
+	return se.out
+}
+
 // ---- Client disconnect (live system) ----
 
 // Disconnect cleans up after a departed client: its transactions are
@@ -647,6 +675,14 @@ func (se *ServerEngine) retryQueue(p PageID) {
 // cache is gone), and all its registered copies are dropped. The returned
 // messages (grants unblocked by the cleanup) must be dispatched.
 func (se *ServerEngine) Disconnect(c ClientID) []Msg {
+	return se.DisconnectDedup(c, nil)
+}
+
+// DisconnectDedup is Disconnect for sharded hosts sweeping every shard:
+// seen (shared across the sweep) records transactions already counted so
+// a transaction holding locks on several shards is counted and traced as
+// one abort, not one per shard. seen == nil counts every transaction.
+func (se *ServerEngine) DisconnectDedup(c ClientID, seen map[TxnID]bool) []Msg {
 	se.out = se.out[:0]
 
 	var mine []*stxn
@@ -671,8 +707,13 @@ func (se *ServerEngine) Disconnect(c ClientID) []Msg {
 			se.dropRound(t.round)
 		}
 		t.aborting = true // suppress victim selection against a ghost
-		se.Stats.Aborts.Add(1)
-		se.trace(obs.EvAbort, t.id, c, ObjID{}, 1)
+		if seen == nil || !seen[t.id] {
+			if seen != nil {
+				seen[t.id] = true
+			}
+			se.Stats.Aborts.Add(1)
+			se.trace(obs.EvAbort, t.id, c, ObjID{}, 1)
+		}
 		se.finishTxn(t.id)
 		if roundPage != InvalidPage {
 			se.retryQueue(roundPage)
@@ -854,4 +895,49 @@ func (se *ServerEngine) abortVictim(v *stxn) {
 	if roundPage != InvalidPage {
 		se.retryQueue(roundPage)
 	}
+}
+
+// ---- Cross-shard deadlock support (sharded hosts) ----
+
+// WaitGraph visits this engine's local waits-for edges: for each
+// non-aborting transaction with outstanding dependencies, its direct
+// waits in deterministic order. A sharded host merges the per-shard
+// graphs (a transaction may wait here while holding locks on another
+// shard) and hunts cycles the per-shard detector cannot see.
+func (se *ServerEngine) WaitGraph(visit func(t TxnID, deps []TxnID)) {
+	ids := make([]TxnID, 0, len(se.txns))
+	for id := range se.txns {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		t := se.txns[id]
+		if t.aborting {
+			continue
+		}
+		if deps := se.waitsFor(t); len(deps) > 0 {
+			visit(id, deps)
+		}
+	}
+}
+
+// AbortDeadlockVictim aborts transaction t as the victim of a cycle a
+// cross-shard detector found in the merged wait graph. It reports false
+// (no messages, no counter) if t no longer exists here or is already
+// aborting — merged-graph cycles are detected without locks held across
+// shards, so a victim may have resolved in the meantime. The returned
+// messages must be dispatched, like Handle's.
+func (se *ServerEngine) AbortDeadlockVictim(t TxnID) ([]Msg, bool) {
+	v := se.txns[t]
+	if v == nil || v.aborting {
+		return nil, false
+	}
+	se.out = se.out[:0]
+	se.Stats.Deadlocks.Add(1)
+	se.abortVictim(v)
+	return se.out, true
 }

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 )
@@ -32,6 +33,7 @@ func AdminHandler(s *Server) http.Handler {
 		fmt.Fprintf(w, "oodbserver status @ %s\n\n", time.Now().Format(time.RFC3339))
 		fmt.Fprintf(w, "protocol:  %v\n", s.Proto())
 		fmt.Fprintf(w, "geometry:  %d pages x %d objs x %d B\n", pages, opp, objSize)
+		fmt.Fprintf(w, "shards:    %d engine shards on GOMAXPROCS=%d\n", s.NumShards(), runtime.GOMAXPROCS(0))
 		fmt.Fprintf(w, "sessions:  %d\n", s.Sessions())
 		fmt.Fprintf(w, "tracing:   enabled=%v dropped=%d\n\n", s.tracer.Enabled(), s.tracer.Dropped())
 		fmt.Fprintf(w, "engine: reads=%d writes=%d commits=%d aborts=%d blocks=%d deadlocks=%d\n",

@@ -31,13 +31,23 @@ type serverMetrics struct {
 	lockWaitPageNs *obs.Histogram
 	lockWaitObjNs  *obs.Histogram
 
-	// Engine-lock width: how long requests wait for the server's one
-	// mutex and how long holders keep it. After the critical-section
-	// shrink, hold covers only the engine step and the WAL frame write —
-	// store I/O and fsyncs show up in wait for other requests if they
-	// ever creep back in.
+	// Engine-lock width, aggregated across shards: how long requests
+	// wait for a shard's mutex and how long holders keep it. Hold covers
+	// only the engine step, staging, and (for commits) the WAL frame
+	// write — store reads and fsyncs show up in wait for other requests
+	// if they ever creep back in. Per-shard views of the same
+	// observations live on each engineShard under
+	// oodb_live_shard_lock_{wait,hold}_ns{shard="i"}.
 	engineLockWaitNs *obs.Histogram
 	engineLockHoldNs *obs.Histogram
+
+	// multiShardCommits counts commits whose write set spanned more than
+	// one engine shard (they take several shard locks in canonical
+	// order); crossShardDeadlocks counts victims aborted by the
+	// cross-shard waits-for merge rather than a single shard's local
+	// detector.
+	multiShardCommits   *obs.Counter
+	crossShardDeadlocks *obs.Counter
 
 	// commitSyncWaitNs is the group-commit durability wait, kept out of
 	// handleNs so commit handling latency reflects processing, not fsync
@@ -76,6 +86,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"time the engine lock was held per acquisition, ns")
 	m.commitSyncWaitNs = reg.Histogram("oodb_live_commit_sync_wait_ns",
 		"commit durability (group-commit fsync) wait, off-lock, ns")
+	m.multiShardCommits = reg.Counter("oodb_live_multi_shard_commits_total",
+		"commits whose write set spanned more than one engine shard")
+	m.crossShardDeadlocks = reg.Counter("oodb_live_cross_shard_deadlocks_total",
+		"deadlock victims aborted by the cross-shard waits-for merge")
 	m.lockWaitPageNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="page"}`,
 		"time blocked requests waited before a grant, ns, by granted granularity")
 	m.lockWaitObjNs = reg.Histogram(`oodb_server_lock_wait_ns{granularity="object"}`, "")
@@ -105,52 +119,77 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return m
 }
 
-// registerServerGauges exposes the server's instantaneous state. Each
-// closure takes s.mu, so the registry must never be collected while the
-// server lock is held (collection happens on admin/monitor goroutines).
+// registerServerGauges exposes the server's instantaneous state. Engine
+// gauges sum across shards taking ONE shard lock at a time, so a scrape
+// may briefly contend with one shard but can never serialize the whole
+// engine (the pre-shard gauges held the single engine lock, which meant
+// a slow scrape stalled every commit; with shards that would have
+// amplified to all-locks-at-once).
 func (s *Server) registerServerGauges(reg *obs.Registry) {
-	locked := func(read func() int64) func() int64 {
+	shardSum := func(read func(*core.ServerEngine) int64) func() int64 {
 		return func() int64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			if s.closed {
+			if s.closedFlag.Load() {
 				return 0
 			}
-			return read()
+			var sum int64
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				sum += read(sh.eng)
+				sh.mu.Unlock()
+			}
+			return sum
 		}
 	}
 	reg.FuncGauge("oodb_server_sessions", "attached client sessions",
-		locked(func() int64 { return int64(len(s.sessions)) }))
-	reg.FuncGauge("oodb_server_active_txns", "transactions the engine is tracking",
-		locked(func() int64 { return int64(s.eng.ActiveTxns()) }))
+		func() int64 { return int64(len(s.sessionMap())) })
+	reg.FuncGauge("oodb_live_shards", "engine shards (page-hash partitions)",
+		func() int64 { return int64(len(s.shards)) })
+	reg.FuncGauge("oodb_server_active_txns", "transactions the engine is tracking (multi-shard txns count once per shard)",
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.ActiveTxns()) }))
 	reg.FuncGauge("oodb_server_blocked_requests", "requests queued behind locks",
-		locked(func() int64 { return int64(s.eng.BlockedRequests()) }))
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.BlockedRequests()) }))
 	reg.FuncGauge("oodb_server_open_rounds", "callback rounds in flight",
-		locked(func() int64 { return int64(s.eng.OpenRounds()) }))
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.OpenRounds()) }))
 	reg.FuncGauge("oodb_server_locked_pages", "pages with tracked lock state",
-		locked(func() int64 { return int64(s.eng.Locks.LockedPages()) }))
-	reg.FuncGauge("oodb_server_locking_txns", "transactions holding locks",
-		locked(func() int64 { return int64(s.eng.Locks.LockingTxns()) }))
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.Locks.LockedPages()) }))
+	reg.FuncGauge("oodb_server_locking_txns", "transactions holding locks (multi-shard txns count once per shard)",
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.Locks.LockingTxns()) }))
 	reg.FuncGauge("oodb_server_copy_entries", "cached-copy registrations at the server",
-		locked(func() int64 { return int64(s.eng.Copies.CopyCount()) }))
+		shardSum(func(e *core.ServerEngine) int64 { return int64(e.Copies.CopyCount()) }))
 	reg.FuncGauge("oodb_wal_size_bytes", "current WAL length",
-		locked(func() int64 { return s.wal.Len() }))
+		func() int64 {
+			if s.closedFlag.Load() {
+				return 0
+			}
+			return s.wal.Len()
+		})
 	reg.FuncCounter("oodb_trace_dropped_total",
 		"trace events dropped by the lossy ring", s.tracer.Dropped)
 }
 
-// onEngineTrace receives every protocol event from the engine (under
-// s.mu). It feeds the tracer and turns EvBlock->EvGrant pairs into
-// lock-wait latency observations, keyed by the granted granularity.
-func (s *Server) onEngineTrace(kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
+// onEngineTrace receives every protocol event from one engine shard
+// (under that shard's lock). It feeds the tracer and turns
+// EvBlock->EvGrant pairs into lock-wait latency observations, keyed by
+// the granted granularity. blockStart is global under bsMu: a
+// transaction blocks on one shard but its terminal event (commit/abort
+// owner step, or a dedup'd disconnect abort) may fire on another.
+func (s *Server) onEngineTrace(sh *engineShard, kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
 	switch kind {
 	case obs.EvBlock:
+		s.bsMu.Lock()
 		if _, ok := s.blockStart[txn]; !ok {
 			s.blockStart[txn] = time.Now()
 		}
+		s.bsMu.Unlock()
+		s.pokeDetector()
 	case obs.EvGrant:
-		if start, ok := s.blockStart[txn]; ok {
+		s.bsMu.Lock()
+		start, ok := s.blockStart[txn]
+		if ok {
 			delete(s.blockStart, txn)
+		}
+		s.bsMu.Unlock()
+		if ok {
 			wait := time.Since(start).Nanoseconds()
 			if core.GrantLevel(extra) == core.GrantPage {
 				s.metrics.lockWaitPageNs.Observe(wait)
@@ -164,11 +203,20 @@ func (s *Server) onEngineTrace(kind obs.EventKind, txn core.TxnID, client core.C
 		// The round died with this client's answer outstanding; retire
 		// any callback deadline armed for it so the watchdog cannot
 		// depose a client that owes nothing.
-		if sess := s.sessions[client]; sess != nil {
-			delete(sess.cbDue, extra)
+		if sess := s.sessionOf(client); sess != nil {
+			sess.clearCB(extra)
+		}
+	case obs.EvCallbackAck:
+		if extra == 1 {
+			// A busy reply defers the conflict to the holder's commit —
+			// with several shards that wait can be part of a cross-shard
+			// cycle only the merged waits-for graph sees.
+			s.pokeDetector()
 		}
 	case obs.EvCommit, obs.EvAbort, obs.EvDeadlock:
+		s.bsMu.Lock()
 		delete(s.blockStart, txn)
+		s.bsMu.Unlock()
 	}
 	s.tracer.Emit(kind, int64(txn), int32(client), int32(obj.Page), int32(obj.Slot), extra)
 }

@@ -3,11 +3,15 @@ package live
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +30,13 @@ type ServerOptions struct {
 	PageSize    int // default 4096
 	ObjsPerPage int // default 20
 	NumPages    int // default 1250
+	// Shards is the number of page-hash engine shards (rounded down to a
+	// power of two, max 64). Commits whose write sets land on different
+	// shards run the engine step concurrently on separate cores; the WAL
+	// stays a single sequencer. 0 selects the default: the OODB_SHARDS
+	// environment variable if set, else min(8, GOMAXPROCS). 1 disables
+	// sharding (the pre-shard single-engine behavior).
+	Shards int
 	// SyncWAL forces commits to wait for a WAL fsync before acking
 	// (default true; tests disable it).
 	SyncWAL bool
@@ -89,10 +100,49 @@ func (o *ServerOptions) defaults() {
 	if o.OutboxLimit == 0 {
 		o.OutboxLimit = 4096
 	}
+	if o.Shards == 0 {
+		if v := os.Getenv("OODB_SHARDS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				o.Shards = n
+			}
+		}
+	}
+	if o.Shards == 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+		if o.Shards > 8 {
+			o.Shards = 8
+		}
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Shards > 64 {
+		o.Shards = 64
+	}
+	// Round down to a power of two so shardOf is a mask, not a modulo.
+	for o.Shards&(o.Shards-1) != 0 {
+		o.Shards &= o.Shards - 1
+	}
+}
+
+// engineShard is one slice of the partitioned engine: a full protocol
+// engine (lock table, copy table, queues, rounds) owning the pages that
+// hash to it, under its own mutex. Commits whose write sets touch
+// disjoint shards hold disjoint locks and run concurrently.
+type engineShard struct {
+	idx int
+	mu  sync.Mutex
+	eng *core.ServerEngine
+
+	// Per-shard views of the engine-lock histograms (the aggregate pair
+	// is also fed) — a hot shard shows up as one skewed series.
+	lockWaitNs *obs.Histogram
+	lockHoldNs *obs.Histogram
 }
 
 // Server is the live page-server DBMS process: it owns the store and log,
-// runs the protocol engine, and serves client sessions over transports.
+// runs the protocol engine (sharded by page hash), and serves client
+// sessions over transports.
 type Server struct {
 	opts   ServerOptions
 	layout *core.Layout
@@ -101,36 +151,98 @@ type Server struct {
 	metrics  *serverMetrics
 	tracer   *obs.Tracer
 
-	mu       sync.Mutex
-	eng      *core.ServerEngine
-	store    objectStore
-	wal      *WAL
-	sessions map[core.ClientID]*session
-	nextID   core.ClientID
-	closed   bool
-	failed   error // injected crash that fail-stopped the server
+	// shards partitions the engine by page hash; shardMask is
+	// len(shards)-1 (power of two). With one shard the system behaves
+	// exactly like the pre-shard single-engine server.
+	shards    []*engineShard
+	shardMask uint32
+
+	store objectStore
+	wal   *WAL
+
+	// installMu orders commit installs against checkpoints, replacing
+	// what the single engine lock used to guarantee: a commit holds it
+	// shared around its WAL append + store installs; Checkpoint holds it
+	// exclusive across flush + truncate. So a WAL record is only ever
+	// truncated after a store flush that covers its installs, and a
+	// flush/truncate pair never splits an append/install pair.
+	// Lock order: shard locks -> installMu -> s.mu.
+	installMu sync.RWMutex
+
+	// sessions is copy-on-write: readers (stage, routing, the watchdog,
+	// gauges) load the map lock-free; Attach/detach/close replace it
+	// under s.mu.
+	sessions atomic.Pointer[map[core.ClientID]*session]
+
+	// closedFlag mirrors closed for lock-free checks on hot/failure
+	// paths. Set (under s.mu) before the store and log are torn down.
+	closedFlag atomic.Bool
+
+	mu     sync.Mutex // admin state below
+	nextID core.ClientID
+	closed bool
+	failed error // injected crash that fail-stopped the server
 
 	// blockStart records when each blocked transaction's queued request
-	// first blocked (guarded by mu; feeds the lock-wait histograms).
+	// first blocked (feeds the lock-wait histograms). Global across
+	// shards — a transaction blocks on one shard but may finish via an
+	// owner step on another — under its own small mutex.
+	bsMu       sync.Mutex
 	blockStart map[core.TxnID]time.Time
 
 	// Callback-deadline watchdog (nil when CallbackTimeout == 0).
 	watchStop chan struct{}
 	watchDone chan struct{}
 
+	// Cross-shard deadlock detector (nil when len(shards) == 1; local
+	// per-shard detection is complete then). See deadlock.go.
+	dlPoke chan struct{}
+	dlStop chan struct{}
+	dlDone chan struct{}
+
 	wg sync.WaitGroup
 
 	ln net.Listener // optional TCP listener
 }
 
+// shardIdx maps a page to its owning shard index. The multiplicative
+// hash decorrelates the low page bits (clients allocate contiguous
+// regions) before masking.
+func (s *Server) shardIdx(p core.PageID) int {
+	if s.shardMask == 0 {
+		return 0
+	}
+	h := uint32(p) * 2654435761
+	return int((h >> 16) & s.shardMask)
+}
+
+func (s *Server) shardOf(p core.PageID) *engineShard {
+	return s.shards[s.shardIdx(p)]
+}
+
+// NumShards returns the number of engine shards.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// sessionMap returns the current copy-on-write session map (never nil).
+func (s *Server) sessionMap() map[core.ClientID]*session {
+	return *s.sessions.Load()
+}
+
+// sessionOf returns the attached session for id, or nil.
+func (s *Server) sessionOf(id core.ClientID) *session {
+	return (*s.sessions.Load())[id]
+}
+
 // session is one attached client. Outgoing messages are staged on the
-// outbox while the server lock is held (fixing their order to match the
-// engine's processing order) and shipped by a dedicated writer goroutine;
-// per-session FIFO delivery is a correctness requirement of callback
-// locking (a callback must never overtake the data reply it concerns).
+// outbox while the owning shard's lock is held (fixing their order to
+// match the engine's processing order) and shipped by a dedicated writer
+// goroutine; per-session FIFO delivery is a correctness requirement of
+// callback locking (a callback must never overtake the data reply it
+// concerns). All messages about one page are produced under that page's
+// shard lock, so per-page wire order still matches engine order.
 //
 // A staged entry may be reserved before its payload exists: data grants
-// are pushed under the server lock with ready=false, and the payload is
+// are pushed under the shard lock with ready=false, and the payload is
 // attached — and the entry marked ready — after the lock is released
 // (see Server.stage / Server.attachPayloads). The writer ships only the
 // maximal ready prefix, so reserved slots preserve FIFO order without
@@ -140,10 +252,18 @@ type session struct {
 	conn Conn
 
 	// cbDue maps an outstanding callback round id to its answer deadline.
-	// Guarded by the server mutex (stage arms it, handle clears it, the
-	// engine's round-cancel events retire it, the watchdog scans it — all
-	// under Server.mu).
+	// cbMu guards the map itself (rounds from different shards share it,
+	// and the watchdog scans it); arm-vs-cancel ordering for any one
+	// round is already serialized by that round's shard lock.
+	cbMu  sync.Mutex
 	cbDue map[int64]time.Time
+
+	// txnShards (write-grant footprint) and txnLastReq (shard of the most
+	// recent read/write request) route commits and aborts to the shards
+	// holding the transaction's state. Touched only by the session's
+	// serve goroutine, so unguarded.
+	txnShards  map[core.TxnID]uint64
+	txnLastReq map[core.TxnID]uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -164,6 +284,32 @@ func newSession(id core.ClientID, conn Conn) *session {
 	s := &session{id: id, conn: conn, cbDue: make(map[int64]time.Time)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// armCB sets the answer deadline for callback round id.
+func (s *session) armCB(id int64, due time.Time) {
+	s.cbMu.Lock()
+	s.cbDue[id] = due
+	s.cbMu.Unlock()
+}
+
+// clearCB retires the deadline for round id, if armed.
+func (s *session) clearCB(id int64) {
+	s.cbMu.Lock()
+	delete(s.cbDue, id)
+	s.cbMu.Unlock()
+}
+
+// overdue reports whether any armed callback deadline has passed.
+func (s *session) overdue(now time.Time) bool {
+	s.cbMu.Lock()
+	defer s.cbMu.Unlock()
+	for _, due := range s.cbDue {
+		if now.After(due) {
+			return true
+		}
+	}
+	return false
 }
 
 // push stages one entry. It reports overflow the first time the outbox
@@ -311,20 +457,49 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		registry:   reg,
 		metrics:    newServerMetrics(reg),
 		tracer:     obs.NewTracer(opts.TraceBuf),
-		eng:        core.NewServerEngine(opts.Proto, layout),
 		store:      store,
 		wal:        wal,
-		sessions:   make(map[core.ClientID]*session),
 		blockStart: make(map[core.TxnID]time.Time),
 	}
-	s.eng.Trace = s.onEngineTrace
-	s.eng.RegisterMetrics(reg)
+	empty := make(map[core.ClientID]*session)
+	s.sessions.Store(&empty)
+
+	nsh := opts.Shards
+	s.shards = make([]*engineShard, nsh)
+	s.shardMask = uint32(nsh - 1)
+	for i := 0; i < nsh; i++ {
+		sh := &engineShard{idx: i, eng: core.NewServerEngine(opts.Proto, layout)}
+		if nsh > 1 {
+			// Stripe round ids (shard i issues i+1, i+1+n, ...): clients
+			// key callback acks and deadlines by round id with no notion
+			// of shards, so ids must be globally unique.
+			sh.eng.ConfigureRoundIDs(int64(i+1), int64(nsh))
+		}
+		sh.eng.Trace = func(kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
+			s.onEngineTrace(sh, kind, txn, client, obj, extra)
+		}
+		// FuncCounters registered by every shard under the same names sum
+		// at collection time.
+		sh.eng.RegisterMetrics(reg)
+		label := strconv.Itoa(i)
+		sh.lockWaitNs = reg.Histogram(obs.Labeled("oodb_live_shard_lock_wait_ns", "shard", label),
+			"time spent waiting for one engine shard's lock, ns, by shard")
+		sh.lockHoldNs = reg.Histogram(obs.Labeled("oodb_live_shard_lock_hold_ns", "shard", label),
+			"time one engine shard's lock was held per acquisition, ns, by shard")
+		s.shards[i] = sh
+	}
 	s.registerServerGauges(reg)
 	wal.metrics = s.metrics
 	if opts.CallbackTimeout > 0 {
 		s.watchStop = make(chan struct{})
 		s.watchDone = make(chan struct{})
 		go s.watchdog()
+	}
+	if nsh > 1 {
+		s.dlPoke = make(chan struct{}, 1)
+		s.dlStop = make(chan struct{})
+		s.dlDone = make(chan struct{})
+		go s.deadlockLoop()
 	}
 	return s, nil
 }
@@ -346,22 +521,16 @@ func (s *Server) watchdog() {
 			return
 		case <-tick.C:
 		}
-		now := time.Now()
-		var dead []core.ClientID
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if s.closedFlag.Load() {
 			return
 		}
-		for id, sess := range s.sessions {
-			for _, due := range sess.cbDue {
-				if now.After(due) {
-					dead = append(dead, id)
-					break
-				}
+		now := time.Now()
+		var dead []core.ClientID
+		for id, sess := range s.sessionMap() {
+			if sess.overdue(now) {
+				dead = append(dead, id)
 			}
 		}
-		s.mu.Unlock()
 		for _, id := range dead {
 			s.metrics.leaseExpiries.Inc()
 			s.tracer.Emit(obs.EvLeaseExpiry, 0, int32(id), 0, 0, 0)
@@ -381,6 +550,18 @@ func (s *Server) stopWatchdogLocked() {
 	}
 }
 
+// stopDetectorLocked signals the cross-shard deadlock detector; the
+// caller holds s.mu.
+func (s *Server) stopDetectorLocked() {
+	if s.dlStop != nil {
+		select {
+		case <-s.dlStop:
+		default:
+			close(s.dlStop)
+		}
+	}
+}
+
 // Proto returns the server's protocol.
 func (s *Server) Proto() core.Protocol { return s.opts.Proto }
 
@@ -391,19 +572,22 @@ func (s *Server) Geometry() (int, int, int) {
 
 // Sessions returns the number of attached client sessions.
 func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return len(s.sessionMap())
 }
 
-// Stats returns a snapshot of the protocol engine statistics.
+// Stats returns a snapshot of the protocol engine statistics, summed
+// across shards.
 func (s *Server) Stats() core.ServerStats {
-	return s.eng.Stats.Snapshot()
+	var sum core.ServerStats
+	for _, sh := range s.shards {
+		sum.Add(sh.eng.Stats.Snapshot())
+	}
+	return sum
 }
 
-// Metrics returns the server's metrics registry. Collection (WriteHuman,
-// WritePrometheus) must not run while holding the server lock: the
-// instantaneous gauges take it.
+// Metrics returns the server's metrics registry. Collection takes the
+// shard locks one at a time (never all at once), so a scrape can stall
+// one shard briefly but cannot serialize the engine.
 func (s *Server) Metrics() *obs.Registry { return s.registry }
 
 // Tracer returns the server's event tracer (disabled until SetEnabled).
@@ -420,8 +604,14 @@ func (s *Server) Attach(conn Conn) (core.ClientID, error) {
 	s.nextID++
 	id := s.nextID
 	sess := newSession(id, conn)
-	s.sessions[id] = sess
-	s.wal.SetDemand(len(s.sessions))
+	old := *s.sessions.Load()
+	next := make(map[core.ClientID]*session, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = sess
+	s.sessions.Store(&next)
+	s.wal.SetDemand(len(next))
 	go sess.writer()
 	s.mu.Unlock()
 
@@ -437,22 +627,56 @@ func (s *Server) Attach(conn Conn) (core.ClientID, error) {
 	return id, nil
 }
 
+// detach removes a session and sweeps every shard for its protocol
+// state. The session leaves the map before the sweep, so its serve
+// goroutine's alive checks (under shard locks) fail from then on — no
+// message it already received can recreate engine state after the sweep
+// passed its shard (ghost resurrection).
 func (s *Server) detach(id core.ClientID) {
-	held := s.lockEngine()
-	sess, ok := s.sessions[id]
-	if !ok || s.closed {
+	s.mu.Lock()
+	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	delete(s.sessions, id)
-	s.wal.SetDemand(len(s.sessions))
-	// Clean up the ghost's protocol state; stage any grants this unblocks.
-	staged, overflow := s.stage(s.eng.Disconnect(id))
-	s.unlockEngine(held)
+	old := *s.sessions.Load()
+	sess, ok := old[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	next := make(map[core.ClientID]*session, len(old)-1)
+	for k, v := range old {
+		if k != id {
+			next[k] = v
+		}
+	}
+	s.sessions.Store(&next)
+	s.wal.SetDemand(len(next))
+	s.mu.Unlock()
+
 	sess.close()
 	// Watchdog-initiated detaches must also unblock the serve goroutine,
 	// which is parked in conn.Recv.
 	sess.conn.Close()
+
+	// Clean up the ghost's protocol state on every shard; stage any
+	// grants this unblocks. The shared seen set counts a transaction
+	// holding locks on several shards as ONE abort.
+	seen := make(map[core.TxnID]bool)
+	var staged []stagedPayload
+	var overflow []core.ClientID
+	for _, sh := range s.shards {
+		held := s.lockShard(sh)
+		st, ov := s.stage(sh.eng.DisconnectDedup(id, seen))
+		s.unlockShard(sh, held)
+		staged = append(staged, st...)
+		overflow = append(overflow, ov...)
+	}
+	s.bsMu.Lock()
+	for t := range seen {
+		delete(s.blockStart, t)
+	}
+	s.bsMu.Unlock()
 	s.attachPayloads(staged)
 	for _, oid := range overflow {
 		s.detach(oid) // bounded: each recursion removes a session
@@ -469,34 +693,38 @@ func (s *Server) serve(sess *session) {
 			return
 		}
 		m.From = sess.id
-		s.handle(m)
+		s.handle(sess, m)
 	}
 }
 
-// lockEngine acquires the engine lock, recording how long the caller
-// waited for it, and returns the acquisition time for unlockEngine's
+// lockShard acquires one shard's lock, recording how long the caller
+// waited for it, and returns the acquisition time for unlockShard's
 // hold observation. Together the two histograms make the critical
 // section's width observable: hold should cover only the engine step and
-// the WAL frame write, never store I/O or fsyncs.
-func (s *Server) lockEngine() time.Time {
+// staging, never store I/O or fsyncs.
+func (s *Server) lockShard(sh *engineShard) time.Time {
 	t0 := time.Now()
-	s.mu.Lock()
+	sh.mu.Lock()
 	t1 := time.Now()
-	s.metrics.engineLockWaitNs.Observe(t1.Sub(t0).Nanoseconds())
+	w := t1.Sub(t0).Nanoseconds()
+	s.metrics.engineLockWaitNs.Observe(w)
+	sh.lockWaitNs.Observe(w)
 	return t1
 }
 
-// unlockEngine records the hold time since lockEngine and releases.
-func (s *Server) unlockEngine(acquired time.Time) {
-	s.metrics.engineLockHoldNs.Observe(time.Since(acquired).Nanoseconds())
-	s.mu.Unlock()
+// unlockShard records the hold time since lockShard and releases.
+func (s *Server) unlockShard(sh *engineShard, acquired time.Time) {
+	h := time.Since(acquired).Nanoseconds()
+	s.metrics.engineLockHoldNs.Observe(h)
+	sh.lockHoldNs.Observe(h)
+	sh.mu.Unlock()
 }
 
-// handle runs one message through the engine under the server lock and
-// dispatches the responses. Everything that does not need the engine's
-// state — WAL body encoding, the commit fsync wait, store payload reads
-// — happens outside the lock.
-func (s *Server) handle(m *core.Msg) {
+// handle runs one message through the engine shard(s) that own it and
+// dispatches the responses. Everything that does not need engine state —
+// WAL body encoding, the commit fsync wait, store payload reads —
+// happens outside the shard locks.
+func (s *Server) handle(sess *session, m *core.Msg) {
 	kind := int(m.Kind)
 	if kind < len(msgKindLabels) {
 		s.metrics.reqs[kind].Inc()
@@ -512,7 +740,16 @@ func (s *Server) handle(m *core.Msg) {
 		}
 	}()
 
-	// Encode the commit's WAL frame before taking the lock: the record
+	nsh := len(s.shards)
+
+	// Piggybacked cache evictions touch arbitrary pages; with several
+	// shards, strip them off the message and apply each to its owning
+	// shard first (the single engine applies them inside Handle).
+	if nsh > 1 && (len(m.DroppedPages) > 0 || len(m.DroppedObjs) > 0) {
+		s.applyDroppedSharded(m)
+	}
+
+	// Encode the commit's WAL frame before taking any lock: the record
 	// body is a pure function of the request, and encoding is the
 	// expensive half of an append.
 	var rec *walRecord
@@ -526,78 +763,53 @@ func (s *Server) handle(m *core.Msg) {
 		frame = encodeWALFrame(rec)
 	}
 
-	held := s.lockEngine()
-	if s.closed {
-		s.mu.Unlock()
+	if m.Kind == core.MCommitReq || m.Kind == core.MAbortReq {
+		s.finishTxnMsg(sess, m, rec, frame)
 		return
 	}
 
-	// Commit: log afterimages before the engine acks, then install. Only
-	// the frame write (offset assignment) and the slot installs happen
-	// under the server lock; the fsync wait does not — commits from other
-	// sessions that arrive during the sync append behind us and ride the
-	// next sync as a batch (group commit). Correctness notes:
-	//
-	//   - acked => durable: the engine only produces MCommitAck after
-	//     WaitDurable returns, and a fail-stop during the sync kills the
-	//     server before any ack escapes.
-	//   - messages processed during our fsync window see the new store
-	//     bytes but the OLD lock state — our updated objects stay
-	//     write-locked (so unreadable/unwritable) until the engine
-	//     processes the commit after the sync.
-	//   - a reader that does observe committed-but-unacked bytes (other
-	//     objects on an updated page) can never commit "ahead" of us:
-	//     the WAL is sequential and synced is a prefix offset, so its
-	//     record durable implies ours durable.
-	//   - installs stay under the server lock (not just the page latch)
-	//     so Checkpoint's flush-then-truncate cannot interleave with an
-	//     install: a WAL record is only ever truncated after a store
-	//     flush that covers its installs.
-	if frame != nil {
-		ticket, gen, err := s.wal.appendFrame(frame)
-		if err != nil {
-			if fault.IsCrash(err) {
-				// Injected fail-stop: die before acking the undurable
-				// commit; the client sees its connection drop instead.
-				s.crashLocked(err)
-				s.mu.Unlock()
-				return
-			}
-			// Real log failure: crash loudly rather than ack an undurable
-			// commit.
-			panic(fmt.Sprintf("live: WAL append failed: %v", err))
-		}
-		for i, o := range rec.Objs {
-			if err := s.store.WriteObj(o, rec.Images[i]); err != nil {
-				panic(fmt.Sprintf("live: commit install failed: %v", err))
-			}
-		}
-		s.unlockEngine(held)
-		syncStart := time.Now()
-		err = s.wal.WaitDurable(ticket, gen)
-		syncWait = time.Since(syncStart)
-		s.metrics.commitSyncWaitNs.Observe(syncWait.Nanoseconds())
-		held = s.lockEngine()
-		if err != nil {
-			if !s.closed {
-				if fault.IsCrash(err) {
-					s.crashLocked(err)
-				} else {
-					panic(fmt.Sprintf("live: WAL sync failed: %v", err))
+	var sh *engineShard
+	switch m.Kind {
+	case core.MReadReq, core.MWriteReq:
+		sh = s.shardOf(m.Obj.Page)
+		if nsh > 1 {
+			// Record the routing so the transaction's commit/abort visits
+			// exactly the shards holding its state: write grants pin their
+			// shard for good; the last request marks where a cancelled
+			// request's residue (an aborted victim's record) may live.
+			if m.Kind == core.MWriteReq {
+				if sess.txnShards == nil {
+					sess.txnShards = make(map[core.TxnID]uint64)
 				}
+				sess.txnShards[m.Txn] |= 1 << uint(sh.idx)
 			}
-			s.mu.Unlock()
-			return
+			if sess.txnLastReq == nil {
+				sess.txnLastReq = make(map[core.TxnID]uint64)
+			}
+			sess.txnLastReq[m.Txn] = 1 << uint(sh.idx)
 		}
-		if s.closed {
-			// A concurrent crash (or shutdown) won the race: the sessions
-			// are gone and no ack may escape.
-			s.mu.Unlock()
-			return
-		}
+	case core.MCallbackAck, core.MDeescReply:
+		sh = s.shardOf(m.Page)
+	default:
+		sh = s.shards[0]
 	}
+	s.engineStep(sess, sh, m)
+}
 
-	staged, overflow := s.stage(s.eng.Handle(m))
+// engineStep runs one message through a single shard's engine under its
+// lock: alive check, engine dispatch, staging, callback-deadline
+// bookkeeping; then payload attachment and overflow deposes off-lock.
+func (s *Server) engineStep(sess *session, sh *engineShard, m *core.Msg) {
+	held := s.lockShard(sh)
+	if s.sessionOf(sess.id) != sess {
+		// The session was detached (watchdog, overflow, close) and its
+		// shard sweep serializes on this lock: processing a straggler
+		// message now would recreate engine state nothing will ever
+		// clean up.
+		s.unlockShard(sh, held)
+		return
+	}
+	staged, overflow := s.stage(sh.eng.Handle(m))
 
 	// Callback-deadline bookkeeping, after the engine step: any ack
 	// proves the client is alive, and a busy reply defers the real
@@ -606,19 +818,292 @@ func (s *Server) handle(m *core.Msg) {
 	// aborted, requester disconnected) must not arm a lease the client
 	// can never discharge.
 	if m.Kind == core.MCallbackAck && s.opts.CallbackTimeout > 0 {
-		if sess := s.sessions[m.From]; sess != nil {
-			delete(sess.cbDue, m.Req)
-			if m.Busy && s.eng.RoundLive(m.Req) {
-				sess.cbDue[m.Req] = time.Now().Add(s.opts.CallbackTimeout)
-			}
+		sess.clearCB(m.Req)
+		if m.Busy && sh.eng.RoundLive(m.Req) {
+			sess.armCB(m.Req, time.Now().Add(s.opts.CallbackTimeout))
 		}
 	}
 
-	s.unlockEngine(held)
+	s.unlockShard(sh, held)
 	s.attachPayloads(staged)
 	for _, id := range overflow {
 		s.detach(id)
 	}
+}
+
+// finishTxnMsg handles MCommitReq/MAbortReq: compute which shards hold
+// the transaction's state, make the commit durable, then run the finish
+// step on each shard.
+//
+// Durability and ordering (the invariants the old single-lock commit
+// path guaranteed, restated for shards):
+//
+//   - acked => durable: the owner shard only produces MCommitAck after
+//     WaitDurable returns, and a fail-stop during the sync kills the
+//     server before any ack escapes. A failed or torn append poisons
+//     the WAL (see appendFrame), so no later append can pave over a
+//     tear and get acknowledged ahead of recovery's stopping point.
+//   - the append + installs happen under ALL the write set's shard
+//     locks (ascending order — canonical, so two multi-shard commits
+//     cannot deadlock), with the transaction's engine write locks still
+//     held. Two commits racing on the same object are therefore
+//     serialized: the second cannot append/install until the first's
+//     engine release — which happens after the first's install — so
+//     WAL order matches install order per object.
+//   - messages processed during our fsync window see the new store
+//     bytes but the OLD lock state — our updated objects stay
+//     write-locked (so unreadable/unwritable) until each shard
+//     processes its slice of the commit after the sync.
+//   - a reader that does observe committed-but-unacked bytes (other
+//     objects on an updated page) can never commit "ahead" of us: the
+//     WAL is sequential and synced is a prefix offset, so its record
+//     durable implies ours durable.
+//   - installs happen under installMu (shared) so Checkpoint's
+//     flush-then-truncate (exclusive) cannot interleave with an
+//     append/install pair: a WAL record is only ever truncated after a
+//     store flush that covers its installs.
+func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame []byte) {
+	mask := s.txnMask(sess, m)
+
+	if frame != nil {
+		ticket, gen, ok := s.appendAndInstall(sess, mask, rec, frame)
+		if !ok {
+			return
+		}
+		syncStart := time.Now()
+		err := s.wal.WaitDurable(ticket, gen)
+		syncWait := time.Since(syncStart)
+		s.metrics.commitSyncWaitNs.Observe(syncWait.Nanoseconds())
+		if err != nil {
+			if fault.IsCrash(err) || errors.Is(err, errWALCrashed) {
+				// Injected fail-stop: die before acking the undurable
+				// commit; the client sees its connection drop instead.
+				s.crash(err)
+				return
+			}
+			panic(fmt.Sprintf("live: WAL sync failed: %v", err))
+		}
+		if s.closedFlag.Load() {
+			// A concurrent crash (or shutdown) won the race: the sessions
+			// are gone and no ack may escape.
+			return
+		}
+	}
+
+	if bits.OnesCount64(mask) == 1 {
+		// Single-shard finish (the overwhelming common case, and the
+		// only case with one shard): the full engine dispatch on the
+		// owning shard — identical to the unsharded path.
+		s.engineStep(sess, s.shards[bits.TrailingZeros64(mask)], m)
+		return
+	}
+	s.multiShardFinish(sess, m, mask)
+}
+
+// txnMask computes the set of shards a commit/abort must visit, as a
+// bitmask: the recorded write-grant footprint, the shard of the last
+// outstanding request (aborts: a cancelled victim's record lives
+// there), and the shards of every page the message itself names. Zero
+// (read-only finish with nothing recorded) falls back to shard 0.
+func (s *Server) txnMask(sess *session, m *core.Msg) uint64 {
+	if len(s.shards) == 1 {
+		return 1
+	}
+	var mask uint64
+	if sess.txnShards != nil {
+		mask = sess.txnShards[m.Txn]
+		delete(sess.txnShards, m.Txn)
+	}
+	if sess.txnLastReq != nil {
+		if m.Kind == core.MAbortReq {
+			mask |= sess.txnLastReq[m.Txn]
+		}
+		delete(sess.txnLastReq, m.Txn)
+	}
+	for _, p := range m.Pages {
+		mask |= 1 << uint(s.shardIdx(p))
+	}
+	for o := range m.Updates {
+		mask |= 1 << uint(s.shardIdx(o.Page))
+	}
+	for _, o := range m.Objs {
+		mask |= 1 << uint(s.shardIdx(o.Page))
+	}
+	for _, p := range m.PurgedPages {
+		mask |= 1 << uint(s.shardIdx(p))
+	}
+	for _, o := range m.PurgedObjs {
+		mask |= 1 << uint(s.shardIdx(o.Page))
+	}
+	if mask == 0 {
+		mask = 1
+	}
+	return mask
+}
+
+// appendAndInstall makes one commit's WAL append and store installs
+// atomic with respect to the write set's shards: all of mask's shard
+// locks are taken in ascending (canonical) order, the session's
+// liveness is checked, and the frame write + object installs happen
+// under them plus installMu (shared). ok=false means the commit was
+// dropped (session detached — nothing was logged or installed) or the
+// server crashed underneath it.
+func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, frame []byte) (ticket, gen int64, ok bool) {
+	type heldShard struct {
+		sh *engineShard
+		at time.Time
+	}
+	var held []heldShard
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		sh := s.shards[bits.TrailingZeros64(rest)]
+		held = append(held, heldShard{sh, s.lockShard(sh)})
+	}
+	unlockAll := func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			s.unlockShard(held[i].sh, held[i].at)
+		}
+	}
+
+	if s.sessionOf(sess.id) != sess {
+		// Detached while the request was in flight. Drop before logging
+		// anything: the disconnect sweep has (or will have) released the
+		// transaction's locks, and a stale install racing a successor
+		// writer would reorder committed bytes.
+		unlockAll()
+		return 0, 0, false
+	}
+
+	s.installMu.RLock()
+	ticket, gen, err := s.wal.appendFrame(frame)
+	if err != nil {
+		s.installMu.RUnlock()
+		unlockAll()
+		if fault.IsCrash(err) || errors.Is(err, errWALCrashed) {
+			s.crash(err)
+			return 0, 0, false
+		}
+		panic(fmt.Sprintf("live: WAL append failed: %v", err))
+	}
+	for i, o := range rec.Objs {
+		if err := s.store.WriteObj(o, rec.Images[i]); err != nil {
+			if s.closedFlag.Load() {
+				// A concurrent commit's injected crash closed the store
+				// under us; the server is already fail-stopped.
+				s.installMu.RUnlock()
+				unlockAll()
+				return 0, 0, false
+			}
+			panic(fmt.Sprintf("live: commit install failed: %v", err))
+		}
+	}
+	s.installMu.RUnlock()
+	unlockAll()
+	return ticket, gen, true
+}
+
+// multiShardFinish runs a commit/abort's engine step on every shard in
+// mask, ascending, one lock at a time. The highest shard is the owner:
+// it counts the transaction's outcome, emits the trace event, and (for
+// commits) sends the MCommitAck — last, so every other shard has
+// already released the transaction's locks when the client learns the
+// outcome. Per-shard message slices are subset to that shard's pages.
+func (s *Server) multiShardFinish(sess *session, m *core.Msg, mask uint64) {
+	isCommit := m.Kind == core.MCommitReq
+	if isCommit {
+		s.metrics.multiShardCommits.Inc()
+	}
+	owner := 63 - bits.LeadingZeros64(mask)
+	var staged []stagedPayload
+	var overflow []core.ClientID
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		i := bits.TrailingZeros64(rest)
+		sh := s.shards[i]
+		sub := s.subsetFinishMsg(m, i, isCommit)
+		held := s.lockShard(sh)
+		var outs []core.Msg
+		if isCommit {
+			outs = sh.eng.HandleCommitShard(sub, i == owner)
+		} else {
+			outs = sh.eng.HandleAbortShard(sub, i == owner)
+		}
+		st, ov := s.stage(outs)
+		s.unlockShard(sh, held)
+		staged = append(staged, st...)
+		overflow = append(overflow, ov...)
+	}
+	s.bsMu.Lock()
+	delete(s.blockStart, m.Txn)
+	s.bsMu.Unlock()
+	s.attachPayloads(staged)
+	for _, id := range overflow {
+		s.detach(id)
+	}
+}
+
+// subsetFinishMsg copies m with its page-keyed slices filtered to shard
+// idx. Pages is passed whole for commits (a foreign page holds no locks
+// on this shard and contributes nothing to merge accounting); Objs and
+// the Purged lists must be subset because their lengths feed counters
+// and their pages feed copy-table dereg.
+func (s *Server) subsetFinishMsg(m *core.Msg, idx int, isCommit bool) *core.Msg {
+	sub := *m
+	if isCommit {
+		if len(m.Objs) > 0 {
+			sub.Objs = nil
+			for _, o := range m.Objs {
+				if s.shardIdx(o.Page) == idx {
+					sub.Objs = append(sub.Objs, o)
+				}
+			}
+		}
+		return &sub
+	}
+	if len(m.PurgedPages) > 0 {
+		sub.PurgedPages = nil
+		for _, p := range m.PurgedPages {
+			if s.shardIdx(p) == idx {
+				sub.PurgedPages = append(sub.PurgedPages, p)
+			}
+		}
+	}
+	if len(m.PurgedObjs) > 0 {
+		sub.PurgedObjs = nil
+		for _, o := range m.PurgedObjs {
+			if s.shardIdx(o.Page) == idx {
+				sub.PurgedObjs = append(sub.PurgedObjs, o)
+			}
+		}
+	}
+	return &sub
+}
+
+// applyDroppedSharded strips m's piggybacked cache evictions and applies
+// each to the shard owning its page.
+func (s *Server) applyDroppedSharded(m *core.Msg) {
+	type group struct {
+		pages []core.PageID
+		objs  []core.ObjID
+	}
+	groups := make([]group, len(s.shards))
+	for _, p := range m.DroppedPages {
+		i := s.shardIdx(p)
+		groups[i].pages = append(groups[i].pages, p)
+	}
+	for _, o := range m.DroppedObjs {
+		i := s.shardIdx(o.Page)
+		groups[i].objs = append(groups[i].objs, o)
+	}
+	for i := range groups {
+		g := &groups[i]
+		if len(g.pages) == 0 && len(g.objs) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		held := s.lockShard(sh)
+		sh.eng.ApplyDropped(m.From, g.pages, g.objs)
+		s.unlockShard(sh, held)
+	}
+	m.DroppedPages, m.DroppedObjs = nil, nil
 }
 
 // stagedPayload is a reserved outbox slot awaiting its payload.
@@ -628,14 +1113,15 @@ type stagedPayload struct {
 }
 
 // stage reserves outbox slots for the engine's outputs, in engine order
-// (the wire order), under the server lock. Messages that need no store
-// payload are ready immediately; data grants are staged unready and
-// returned for attachPayloads to fill outside the lock. It also arms
+// (the wire order), under the emitting shard's lock. Messages that need
+// no store payload are ready immediately; data grants are staged unready
+// and returned for attachPayloads to fill outside the lock. It also arms
 // callback deadlines and reports sessions whose outbox overflowed (the
 // caller must detach those after releasing the lock).
 func (s *Server) stage(outs []core.Msg) (staged []stagedPayload, overflow []core.ClientID) {
+	sessions := s.sessionMap()
 	for _, om := range outs {
-		sess := s.sessions[om.To]
+		sess := sessions[om.To]
 		if sess == nil {
 			continue // client departed; detach cleans its state up
 		}
@@ -645,7 +1131,7 @@ func (s *Server) stage(outs []core.Msg) (staged []stagedPayload, overflow []core
 			staged = append(staged, stagedPayload{sess, e})
 		case core.MCallback:
 			if s.opts.CallbackTimeout > 0 {
-				sess.cbDue[om.Req] = time.Now().Add(s.opts.CallbackTimeout)
+				sess.armCB(om.Req, time.Now().Add(s.opts.CallbackTimeout))
 			}
 			e.ready = true
 		default:
@@ -660,19 +1146,20 @@ func (s *Server) stage(outs []core.Msg) (staged []stagedPayload, overflow []core
 }
 
 // attachPayloads reads the store payloads for slots stage reserved and
-// publishes them to the session writers. It runs WITHOUT the server
+// publishes them to the session writers. It runs WITHOUT any shard
 // lock; the store's page latches (shared here, exclusive in commit
 // installs) keep each copy untorn.
 //
 // The payload still matches the lock state at grant time: a conflicting
 // writer can install new bytes for a granted object only after calling
 // back every registered copy — and the copy was registered under the
-// server lock when this grant was staged. The recipient answers that
-// callback only after its client-side receive loop has consumed this
-// very message, which the FIFO outbox orders behind nothing that hasn't
-// been sent — so the install strictly follows this read. Slots the grant
-// marked Unavail are the one exception: their bytes may move underneath
-// us, but clients never read Unavail slots from a granted page.
+// page's shard lock when this grant was staged. The recipient answers
+// that callback only after its client-side receive loop has consumed
+// this very message, which the FIFO outbox orders behind nothing that
+// hasn't been sent — so the install strictly follows this read. Slots
+// the grant marked Unavail are the one exception: their bytes may move
+// underneath us, but clients never read Unavail slots from a granted
+// page.
 func (s *Server) attachPayloads(staged []stagedPayload) {
 	for _, sp := range staged {
 		var data []byte
@@ -683,6 +1170,9 @@ func (s *Server) attachPayloads(staged []stagedPayload) {
 			data, err = s.store.ReadObj(sp.e.msg.Obj)
 		}
 		if err != nil {
+			if s.closedFlag.Load() {
+				return // crashed underneath us; sessions are gone anyway
+			}
 			panic(fmt.Sprintf("live: payload read failed: %v", err))
 		}
 		sp.e.msg.Data = data
@@ -748,40 +1238,53 @@ func (s *Server) Addr() string {
 
 // Checkpoint flushes the store and truncates the log. The order is the
 // crash-safety invariant: the log may only be truncated once every update
-// it covers is durably in the store. A crash anywhere inside (exercised by
+// it covers is durably in the store. installMu (exclusive) excludes
+// in-flight append/install pairs, so the flush covers every install whose
+// record the truncation discards. A crash anywhere inside (exercised by
 // the store.flush.* and checkpoint.mid crash points) leaves the log
 // intact, and replaying it is idempotent.
 func (s *Server) Checkpoint() error {
+	s.installMu.Lock()
+	defer s.installMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
-		if s.failed != nil {
-			return s.failed
+		failed := s.failed
+		s.mu.Unlock()
+		if failed != nil {
+			return failed
 		}
 		return fmt.Errorf("live: server closed")
 	}
+	s.mu.Unlock()
 	start := time.Now()
 	dirty := s.store.DirtyPages()
 	if err := s.store.Flush(); err != nil {
 		if fault.IsCrash(err) {
-			s.crashLocked(err)
+			s.crash(err)
 		}
 		return err
 	}
 	s.metrics.flushPages.Add(int64(dirty))
 	if err := cpCheckpointMid.Check(); err != nil {
-		s.crashLocked(err)
+		s.crash(err)
 		return err
 	}
 	if err := s.wal.Truncate(); err != nil {
 		if fault.IsCrash(err) {
-			s.crashLocked(err)
+			s.crash(err)
 		}
 		return err
 	}
 	s.metrics.checkpointNs.Observe(time.Since(start).Nanoseconds())
 	s.metrics.checkpoints.Inc()
 	return nil
+}
+
+// crash fail-stops the server (s.mu taken here).
+func (s *Server) crash(cause error) {
+	s.mu.Lock()
+	s.crashLocked(cause)
+	s.mu.Unlock()
 }
 
 // crashLocked fail-stops the server as an injected crash dictates: every
@@ -794,16 +1297,19 @@ func (s *Server) crashLocked(cause error) {
 		return
 	}
 	s.closed = true
+	s.closedFlag.Store(true)
 	s.failed = cause
 	s.stopWatchdogLocked()
+	s.stopDetectorLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	for _, sess := range s.sessions {
+	for _, sess := range s.sessionMap() {
 		sess.close()
 		sess.conn.Close()
 	}
-	s.sessions = map[core.ClientID]*session{}
+	empty := make(map[core.ClientID]*session)
+	s.sessions.Store(&empty)
 	s.wal.crash()
 	s.store.closeRaw()
 }
@@ -820,6 +1326,9 @@ func (s *Server) Crash() error {
 	s.wg.Wait()
 	if s.watchDone != nil {
 		<-s.watchDone
+	}
+	if s.dlDone != nil {
+		<-s.dlDone
 	}
 	return failed
 }
@@ -840,20 +1349,26 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.closedFlag.Store(true)
 	s.stopWatchdogLocked()
+	s.stopDetectorLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	for _, sess := range s.sessions {
+	for _, sess := range s.sessionMap() {
 		sess.close()
 		sess.conn.Close()
 	}
-	s.sessions = map[core.ClientID]*session{}
+	empty := make(map[core.ClientID]*session)
+	s.sessions.Store(&empty)
 	s.mu.Unlock()
 
 	s.wg.Wait()
 	if s.watchDone != nil {
 		<-s.watchDone
+	}
+	if s.dlDone != nil {
+		<-s.dlDone
 	}
 
 	s.mu.Lock()

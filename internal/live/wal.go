@@ -171,8 +171,9 @@ func (w *WAL) append(rec *walRecord) (ticket, gen int64, err error) {
 }
 
 // appendFrame writes a pre-encoded frame without syncing. The returned
-// (ticket, gen) identify the durability point to wait on. Callers
-// serialize appends (the server lock does this).
+// (ticket, gen) identify the durability point to wait on. Appends from
+// different sessions serialize on w.mu (the sharded server no longer
+// wraps them in one global lock); the log stays a single sequencer.
 func (w *WAL) appendFrame(frame []byte) (ticket, gen int64, err error) {
 	if err := cpWALPreFrame.Check(); err != nil {
 		return 0, 0, err
@@ -181,13 +182,24 @@ func (w *WAL) appendFrame(frame []byte) (ticket, gen int64, err error) {
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// A failed or torn append poisons the log. Without this, a concurrent
+	// committer could append over the torn tail left by a "dead" process
+	// and get its commit acknowledged, while recovery — correctly —
+	// stops at the tear and never replays it.
+	if w.syncErr != nil {
+		return 0, 0, w.syncErr
+	}
 	if err := cpWALTornTail.Check(); err != nil {
 		// Simulate a torn write: half the frame reaches the file before
 		// the process dies. Recovery must stop at the previous record.
 		w.f.WriteAt(frame[:len(frame)/2], w.off)
+		w.syncErr = err
+		w.cond.Broadcast()
 		return 0, 0, err
 	}
 	if _, err := w.f.WriteAt(frame, w.off); err != nil {
+		w.syncErr = err
+		w.cond.Broadcast()
 		return 0, 0, err
 	}
 	w.off += int64(len(frame))

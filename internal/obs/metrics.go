@@ -228,6 +228,14 @@ func NewRegistry() *Registry {
 	}
 }
 
+// Labeled builds a single-label series name: Labeled("x_total", "shard",
+// "3") is `x_total{shard="3"}`. Series of one family share help text and
+// type; FuncCounters registered under the same full series name sum at
+// collection time.
+func Labeled(name, key, value string) string {
+	return name + `{` + key + `="` + value + `"}`
+}
+
 // family returns the metric family of a series name (the part before any
 // label block).
 func family(name string) string {

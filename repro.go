@@ -149,6 +149,10 @@ type ClusterOptions struct {
 	ObjsPerPage int // default 20
 	NumPages    int // default 1250
 	SyncWAL     bool
+	// Shards is the number of page-hash engine shards (0: the default of
+	// min(8, GOMAXPROCS), honoring OODB_SHARDS; 1 disables sharding). See
+	// ServerOptions.Shards.
+	Shards int
 	// VariableObjects enables size-changing updates (slotted pages with
 	// overflow forwarding); requires Proto == OS.
 	VariableObjects bool
@@ -178,7 +182,7 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 	}
 	srv, err := live.OpenServer(dir, live.ServerOptions{
 		Proto: opts.Proto, PageSize: opts.PageSize, ObjsPerPage: opts.ObjsPerPage,
-		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL,
+		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL, Shards: opts.Shards,
 		VariableObjects: opts.VariableObjects,
 		CallbackTimeout: opts.CallbackTimeout,
 		Metrics:         opts.Metrics,
