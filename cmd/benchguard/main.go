@@ -60,6 +60,7 @@ type benchFile struct {
 			AllocsPerOp float64 `json:"allocs_per_op"`
 			OpsPerSec   float64 `json:"ops_per_sec"`
 			P99Ns       float64 `json:"p99_ns"`
+			TTFCNs      float64 `json:"ttfc_ns"`
 		} `json:"benchmarks"`
 	} `json:"runs"`
 }
@@ -71,6 +72,7 @@ type measurement struct {
 	allocs    float64 // -1 when the line had no -benchmem columns
 	opsPerSec float64 // the live benches' "txn/s" ReportMetric column
 	p99Ns     float64 // "p99-commit-ns"
+	ttfcNs    float64 // "ttfc-ns": the recovery bench's time-to-first-commit
 	procs     int     // the -N name suffix: the run's GOMAXPROCS
 }
 
@@ -235,6 +237,7 @@ func recordRuns(path string, current map[string]measurement, note string) error 
 			NsPerOp:   m.nsPerOp,
 			OpsPerSec: m.opsPerSec,
 			P99Ns:     m.p99Ns,
+			TTFCNs:    m.ttfcNs,
 		}
 		if m.allocs >= 0 {
 			b.AllocsPerOp = m.allocs
@@ -299,6 +302,11 @@ func parseBenchOutput(f io.Reader, echo bool) (map[string]measurement, error) {
 					return nil, bad("p99-commit-ns")
 				}
 				m.p99Ns = v
+			case "ttfc-ns":
+				if err != nil {
+					return nil, bad("ttfc-ns")
+				}
+				m.ttfcNs = v
 			}
 		}
 		if m.allocs < 0 && m.nsPerOp == 0 {

@@ -17,6 +17,9 @@
 //	-shards            engine shards by page hash (power of two, max 64;
 //	                   0 = min(8, GOMAXPROCS), honoring OODB_SHARDS;
 //	                   1 = the unsharded engine)
+//	-recovery-jobs     parallel WAL replay workers during startup recovery
+//	                   (0 = min(shards, GOMAXPROCS), honoring
+//	                   OODB_RECOVERY_JOBS; 1 = serial replay)
 //	-group-commit-window
 //	                   linger before each WAL fsync so concurrent commits
 //	                   share it (0 = sync immediately)
@@ -61,6 +64,9 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"engine shards by page hash (rounded down to a power of two; "+
 			"0 = min(8, GOMAXPROCS), honoring OODB_SHARDS; 1 = unsharded)")
+	recoveryJobs := flag.Int("recovery-jobs", 0,
+		"parallel WAL replay workers during startup recovery "+
+			"(0 = min(shards, GOMAXPROCS), honoring OODB_RECOVERY_JOBS; 1 = serial)")
 	gcWindow := flag.Duration("group-commit-window", 0,
 		"linger this long before each WAL fsync so concurrent commits share it "+
 			"(0 = sync immediately; batching still happens under load)")
@@ -80,7 +86,7 @@ func main() {
 	srv, err := live.OpenServer(*dir, live.ServerOptions{
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
 		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
-		Shards: *shards,
+		Shards: *shards, RecoveryJobs: *recoveryJobs,
 	})
 	if err != nil {
 		fatal(err)
@@ -88,6 +94,10 @@ func main() {
 	np, opp, osz := srv.Geometry()
 	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each), %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
 		p, *addr, np, opp, osz, srv.NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
+	rs := srv.RecoveryStats()
+	fmt.Printf("oodbserver: recovery replayed %d records (%d skipped under checkpoint watermark) across %d pages (%d skipped) with %d jobs in %.1fms\n",
+		rs.Records, rs.RecordsSkipped, rs.PagesReplayed, rs.PagesSkipped, rs.Jobs,
+		float64(rs.DurationNs)/1e6)
 
 	srv.Tracer().SetEnabled(*trace)
 	if *admin != "" {

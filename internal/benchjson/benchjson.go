@@ -29,6 +29,9 @@ type Benchmark struct {
 	// live benchmark's committed txn/s and p99 commit latency).
 	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 	P99Ns     float64 `json:"p99_ns,omitempty"`
+	// TTFCNs is the recovery benchmark's time-to-first-commit: OpenServer
+	// over a crashed database through the first post-restart commit ack.
+	TTFCNs float64 `json:"ttfc_ns,omitempty"`
 }
 
 // SweepBench is one sweep's timing within a run.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -378,4 +379,118 @@ func BenchmarkWireControl(b *testing.B) {
 		Kind: core.MCallbackAck, From: 4, Txn: 42, Req: 7, Purged: true,
 		Obj: core.ObjID{Page: 3, Slot: 2}, Epoch: 5,
 	})
+}
+
+// BenchmarkRecovery measures instant restart on a crashed database: a
+// store whose log still holds every commit (no checkpoint retired any of
+// it). Each iteration clones that state, opens a server over it, and runs
+// one commit — the moment the database is really back. Reported metrics:
+// "txn/s" is logged records applied per second of the apply+write-back
+// phase, the part -recovery-jobs parallelizes (the trailing fsync is
+// device-bound and serial, so including it would only measure the disk);
+// "ttfc-ns" is time-to-first-commit, OpenServer through the first
+// post-restart commit ack. CI runs this twice (OODB_RECOVERY_JOBS=1 vs 4)
+// and guards the txn/s ratio.
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		numPages = 1024
+		objsPP   = 8
+		pageSize = 2048
+		records  = 8192
+		fanout   = 4
+	)
+	tpl := b.TempDir()
+	st, err := CreateStore(tpl+"/data.db", pageSize, objsPP, numPages)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	w, _, err := OpenWAL(tpl + "/wal.log")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.SyncOnCommit = false
+	rng := rand.New(rand.NewSource(7))
+	objSize := (pageSize - 4) / objsPP
+	for i := 0; i < records; i++ {
+		objs := make([]core.ObjID, fanout)
+		imgs := make([][]byte, fanout)
+		for j := range objs {
+			objs[j] = o(core.PageID(rng.Intn(numPages)), uint16(rng.Intn(objsPP)))
+			img := make([]byte, objSize)
+			rng.Read(img)
+			imgs[j] = img
+		}
+		if err := w.Append(&walRecord{Txn: core.TxnID(i + 1), Client: 1,
+			Objs: objs, Images: imgs, Commit: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	dataImg, err := os.ReadFile(tpl + "/data.db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	walImg, err := os.ReadFile(tpl + "/wal.log")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var applied, applyNs, ttfcNs int64
+	firstImg := make([]byte, objSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		if err := os.WriteFile(dir+"/data.db", dataImg, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(dir+"/wal.log", walImg, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		start := time.Now()
+		srv, err := OpenServer(dir, ServerOptions{Proto: core.PSAA, SyncWAL: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cEnd, sEnd := Pipe()
+		if _, err := srv.Attach(sEnd); err != nil {
+			b.Fatal(err)
+		}
+		cl, err := Connect(cEnd, ClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx, err := cl.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(o(0, 0), firstImg); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		ttfcNs += time.Since(start).Nanoseconds()
+		b.StopTimer()
+
+		stats := srv.RecoveryStats()
+		applied += int64(stats.Records)
+		applyNs += stats.ApplyNs
+		cl.Close()
+		srv.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if applyNs < 1 {
+		applyNs = 1
+	}
+	b.ReportMetric(float64(applied)/(float64(applyNs)/1e9), "txn/s")
+	b.ReportMetric(float64(ttfcNs)/float64(b.N), "ttfc-ns")
 }

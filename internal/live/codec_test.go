@@ -161,16 +161,16 @@ func TestWALGobMigration(t *testing.T) {
 	}
 	f.Close()
 
-	w, recs, err := OpenWAL(path)
+	w, scan, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != len(old) {
-		t.Fatalf("scanned %d legacy records, want %d", len(recs), len(old))
+	if len(scan.recs) != len(old) {
+		t.Fatalf("scanned %d legacy records, want %d", len(scan.recs), len(old))
 	}
 	for i := range old {
-		if !reflect.DeepEqual(recs[i], old[i]) {
-			t.Fatalf("legacy rec %d mismatch: got %+v want %+v", i, recs[i], old[i])
+		if !reflect.DeepEqual(scan.recs[i], old[i]) {
+			t.Fatalf("legacy rec %d mismatch: got %+v want %+v", i, scan.recs[i], old[i])
 		}
 	}
 	// Append a binary record after the gob tail; a rescan sees both eras.
@@ -186,15 +186,15 @@ func TestWALGobMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f2.Close()
-	recs2, _, err := scanWAL(f2)
+	scan2, err := scanWAL(f2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs2) != 3 {
-		t.Fatalf("rescan found %d records, want 3", len(recs2))
+	if len(scan2.recs) != 3 {
+		t.Fatalf("rescan found %d records, want 3", len(scan2.recs))
 	}
-	if !reflect.DeepEqual(recs2[2], newRec) {
-		t.Fatalf("binary rec mismatch: got %+v want %+v", recs2[2], newRec)
+	if !reflect.DeepEqual(scan2.recs[2], newRec) {
+		t.Fatalf("binary rec mismatch: got %+v want %+v", scan2.recs[2], newRec)
 	}
 }
 

@@ -13,8 +13,11 @@ import (
 	"repro/internal/fault"
 )
 
-// livePoints are the crash points the live stack registers; the fuzzer
-// enumerates them and requires each to actually fire under the script.
+// livePoints are the crash points the commit/checkpoint script can fire;
+// the fuzzer enumerates them and requires each to actually fire under the
+// script. recover.mid-replay is registered but absent here: it only
+// traverses during recovery itself, which TestCrashDuringRecovery arms
+// separately (recovery_test.go).
 var livePoints = []string{
 	"wal.append.pre-frame",
 	"wal.append.torn-write",
@@ -23,6 +26,8 @@ var livePoints = []string{
 	"store.flush.partial",
 	"store.flush.pre-sync",
 	"checkpoint.mid",
+	"checkpoint.pre-watermark",
+	"checkpoint.post-watermark",
 }
 
 func TestCrashPointsRegistered(t *testing.T) {
@@ -30,7 +35,7 @@ func TestCrashPointsRegistered(t *testing.T) {
 	for _, n := range fault.Points() {
 		registered[n] = true
 	}
-	for _, n := range livePoints {
+	for _, n := range append([]string{"recover.mid-replay"}, livePoints...) {
 		if !registered[n] {
 			t.Errorf("crash point %q not registered", n)
 		}
@@ -207,12 +212,12 @@ func recoverOnce(t *testing.T, dir string) []byte {
 	if err != nil {
 		t.Fatalf("recoverOnce: open store: %v", err)
 	}
-	wal, recs, err := OpenWAL(filepath.Join(dir, "wal.log"))
+	wal, scan, err := OpenWAL(filepath.Join(dir, "wal.log"))
 	if err != nil {
 		st.Close()
 		t.Fatalf("recoverOnce: open wal: %v", err)
 	}
-	if _, err := replayRecords(st, recs); err != nil {
+	if _, err := replayRecords(st, scan, 1); err != nil {
 		t.Fatalf("recoverOnce: replay: %v", err)
 	}
 	if err := st.Close(); err != nil {
@@ -258,12 +263,16 @@ func TestCheckpointCrashBetweenFlushAndTruncate(t *testing.T) {
 	fault.DisarmAll()
 
 	// The WAL must still hold the committed record (truncation never ran)…
-	_, recs, err := OpenWAL(filepath.Join(dir, "wal.log"))
+	w, scan, err := OpenWAL(filepath.Join(dir, "wal.log"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 {
-		t.Fatalf("WAL has %d records after mid-checkpoint crash, want 1", len(recs))
+	w.Close()
+	if len(scan.recs) != 1 {
+		t.Fatalf("WAL has %d records after mid-checkpoint crash, want 1", len(scan.recs))
+	}
+	if scan.covered != 0 {
+		t.Fatalf("mid-checkpoint crash left a watermark covering %d bytes, want none", scan.covered)
 	}
 
 	// …and recovery (which replays it over the already-flushed store) must

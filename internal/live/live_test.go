@@ -568,12 +568,12 @@ func TestWALTornTailIgnored(t *testing.T) {
 	w.Close()
 
 	f, _ := openFile(path)
-	recs, _, err := scanWAL(f)
+	scan, err := scanWAL(f)
 	f.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 1 || recs[0].Txn != 1 {
-		t.Fatalf("recovered %d records", len(recs))
+	if len(scan.recs) != 1 || scan.recs[0].Txn != 1 {
+		t.Fatalf("recovered %d records", len(scan.recs))
 	}
 }

@@ -68,6 +68,13 @@ type serverMetrics struct {
 	checkpointNs *obs.Histogram
 	checkpoints  *obs.Counter
 	flushPages   *obs.Counter
+
+	// Recovery counters are bumped once per OpenServer from the opening
+	// replay's RecoveryStats (with a shared registry they accumulate
+	// across restarts, which is the point: restarts are countable events).
+	recoveryPagesReplayed *obs.Counter
+	recoveryPagesSkipped  *obs.Counter
+	recoveryDurationNs    *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -116,6 +123,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	m.checkpoints = reg.Counter("oodb_checkpoints_total", "checkpoints completed")
 	m.flushPages = reg.Counter("oodb_store_flush_pages_total",
 		"dirty pages written by store flushes")
+	m.recoveryPagesReplayed = reg.Counter("oodb_live_recovery_pages_replayed_total",
+		"distinct pages receiving at least one replayed WAL image at recovery")
+	m.recoveryPagesSkipped = reg.Counter("oodb_live_recovery_pages_skipped_total",
+		"distinct pages whose logged images were all below the checkpoint watermark at recovery")
+	m.recoveryDurationNs = reg.Counter("oodb_live_recovery_duration_ns",
+		"total wall time spent replaying the WAL at recovery, ns")
 	return m
 }
 

@@ -19,10 +19,19 @@ import (
 	"repro/internal/obs"
 )
 
-// cpCheckpointMid crashes between the store flush and the log truncation —
-// the checkpoint's ordering hazard. Recovery must replay the (now
-// redundant) log idempotently.
-var cpCheckpointMid = fault.Register("checkpoint.mid")
+// Checkpoint crash points. cpCheckpointMid crashes between the store
+// flush and everything after it — the checkpoint's original ordering
+// hazard: recovery must replay the (now redundant) log idempotently.
+// The watermark pair brackets the fuzzy checkpoint's new commit point:
+// pre-watermark dies with the flush done but unrecorded (recovery replays
+// the whole log), post-watermark dies with the watermark durable but the
+// prefix not yet truncated (recovery must skip the covered prefix and
+// still come out byte-identical).
+var (
+	cpCheckpointMid    = fault.Register("checkpoint.mid")
+	cpCheckpointPreWM  = fault.Register("checkpoint.pre-watermark")
+	cpCheckpointPostWM = fault.Register("checkpoint.post-watermark")
+)
 
 // ServerOptions configures a live server.
 type ServerOptions struct {
@@ -37,6 +46,12 @@ type ServerOptions struct {
 	// environment variable if set, else min(8, GOMAXPROCS). 1 disables
 	// sharding (the pre-shard single-engine behavior).
 	Shards int
+	// RecoveryJobs is the number of parallel WAL replay workers used when
+	// opening the database (fixed-slot stores only; the variable store
+	// replays serially — see replayRecords). 0 selects the default: the
+	// OODB_RECOVERY_JOBS environment variable if set, else
+	// min(Shards, GOMAXPROCS).
+	RecoveryJobs int
 	// SyncWAL forces commits to wait for a WAL fsync before acking
 	// (default true; tests disable it).
 	SyncWAL bool
@@ -123,6 +138,22 @@ func (o *ServerOptions) defaults() {
 	for o.Shards&(o.Shards-1) != 0 {
 		o.Shards &= o.Shards - 1
 	}
+	if o.RecoveryJobs == 0 {
+		if v := os.Getenv("OODB_RECOVERY_JOBS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				o.RecoveryJobs = n
+			}
+		}
+	}
+	if o.RecoveryJobs == 0 {
+		o.RecoveryJobs = runtime.GOMAXPROCS(0)
+		if o.RecoveryJobs > o.Shards {
+			o.RecoveryJobs = o.Shards
+		}
+	}
+	if o.RecoveryJobs < 1 {
+		o.RecoveryJobs = 1
+	}
 }
 
 // engineShard is one slice of the partitioned engine: a full protocol
@@ -168,6 +199,15 @@ type Server struct {
 	// flush/truncate pair never splits an append/install pair.
 	// Lock order: shard locks -> installMu -> s.mu.
 	installMu sync.RWMutex
+
+	// ckptMu serializes checkpoints: the fuzzy checkpoint releases
+	// installMu between capturing its watermark and truncating the log,
+	// so without this two overlapping checkpoints could interleave their
+	// flush/watermark/truncate steps.
+	ckptMu sync.Mutex
+
+	// recovery is what the opening replay did (see RecoveryStats).
+	recovery RecoveryStats
 
 	// sessions is copy-on-write: readers (stage, routing, the watchdog,
 	// gauges) load the map lock-free; Attach/detach/close replace it
@@ -426,14 +466,19 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		opts.NumPages = store.NumPages()
 	}
 
-	// Redo recovery: one scan finds the append offset and yields the
-	// records to replay; the flushed store then makes the log redundant.
-	wal, recs, err := OpenWAL(walPath)
+	// Redo recovery: one scan finds the append offset, the checkpoint
+	// watermark, and the records to replay; the flushed store then makes
+	// the log redundant. A crash anywhere in here (the recover.mid-replay
+	// and store.flush.* crash points) leaves the log intact for the next
+	// attempt — replay is idempotent, so recovering a half-recovered
+	// store lands on the same bytes.
+	wal, scan, err := OpenWAL(walPath)
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
-	if _, err := replayRecords(store, recs); err != nil {
+	recov, err := replayRecords(store, scan, opts.RecoveryJobs)
+	if err != nil {
 		store.Close()
 		wal.Close()
 		return nil, fmt.Errorf("live: recovery failed: %w", err)
@@ -459,8 +504,12 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		tracer:     obs.NewTracer(opts.TraceBuf),
 		store:      store,
 		wal:        wal,
+		recovery:   recov,
 		blockStart: make(map[core.TxnID]time.Time),
 	}
+	s.metrics.recoveryPagesReplayed.Add(int64(recov.PagesReplayed))
+	s.metrics.recoveryPagesSkipped.Add(int64(recov.PagesSkipped))
+	s.metrics.recoveryDurationNs.Add(recov.DurationNs)
 	empty := make(map[core.ClientID]*session)
 	s.sessions.Store(&empty)
 
@@ -1236,16 +1285,40 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Checkpoint flushes the store and truncates the log. The order is the
-// crash-safety invariant: the log may only be truncated once every update
-// it covers is durably in the store. installMu (exclusive) excludes
-// in-flight append/install pairs, so the flush covers every install whose
-// record the truncation discards. A crash anywhere inside (exercised by
-// the store.flush.* and checkpoint.mid crash points) leaves the log
-// intact, and replaying it is idempotent.
+// RecoveryStats reports what the opening replay did: records and pages
+// replayed vs skipped below the checkpoint watermark, worker count, and
+// wall time.
+func (s *Server) RecoveryStats() RecoveryStats { return s.recovery }
+
+// Checkpoint makes the store cover a prefix of the log, then discards
+// that prefix. The crash-safety invariant is the same as the old
+// stop-world version — the log may only lose a record once every install
+// it covers is durably in the store — but the world barely stops:
+//
+//  1. Take installMu exclusively just long enough to read the log tail W
+//     (no I/O under the lock). Commits hold installMu shared across their
+//     append+install pair, so every record below W has fully installed:
+//     its pages are dirty in memory (or already on disk).
+//  2. Flush one engine shard's pages at a time (FlushOwned), each page
+//     under its own latch. Commits keep flowing: an install racing the
+//     flush either lands before the page's copy (flushed now) or after
+//     (re-dirties the page for the next checkpoint — and its record sits
+//     at or above W, surviving the truncation).
+//  3. Append a watermark frame ("records ending below W are in the
+//     store") and wait for its durability.
+//  4. Truncate the prefix below W (TruncatePrefix; rename + dir fsync).
+//
+// A crash before 3 leaves the log intact and replay is idempotent; a
+// crash between 3 and 4 leaves the watermark, and recovery skips the
+// covered prefix; a crash inside 4 leaves either the old or the new log
+// file, never a torn one (the checkpoint.* and store.flush.* crash points
+// exercise each window). The variable store keeps the stop-world flush —
+// its installs relocate objects across pages, so only a flush with
+// installs excluded sees a stable layout — but gains the same
+// watermark + prefix truncation.
 func (s *Server) Checkpoint() error {
-	s.installMu.Lock()
-	defer s.installMu.Unlock()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		failed := s.failed
@@ -1257,19 +1330,63 @@ func (s *Server) Checkpoint() error {
 	}
 	s.mu.Unlock()
 	start := time.Now()
-	dirty := s.store.DirtyPages()
-	if err := s.store.Flush(); err != nil {
+
+	var watermark int64
+	flushed := 0
+	if st, fixed := s.store.(*Store); fixed {
+		s.installMu.Lock()
+		watermark = s.wal.tail()
+		s.installMu.Unlock()
+		for i := range s.shards {
+			n, err := st.FlushOwned(func(p core.PageID) bool { return s.shardIdx(p) == i })
+			if err != nil {
+				if fault.IsCrash(err) {
+					s.crash(err)
+				}
+				return err
+			}
+			flushed += n
+		}
+	} else {
+		s.installMu.Lock()
+		watermark = s.wal.tail()
+		flushed = s.store.DirtyPages()
+		err := s.store.Flush()
+		s.installMu.Unlock()
+		if err != nil {
+			if fault.IsCrash(err) {
+				s.crash(err)
+			}
+			return err
+		}
+	}
+	s.metrics.flushPages.Add(int64(flushed))
+	if err := cpCheckpointMid.Check(); err != nil {
+		s.crash(err)
+		return err
+	}
+	if err := cpCheckpointPreWM.Check(); err != nil {
+		s.crash(err)
+		return err
+	}
+	ticket, gen, err := s.wal.appendCheckpoint(watermark)
+	if err != nil {
 		if fault.IsCrash(err) {
 			s.crash(err)
 		}
 		return err
 	}
-	s.metrics.flushPages.Add(int64(dirty))
-	if err := cpCheckpointMid.Check(); err != nil {
+	if err := s.wal.WaitDurable(ticket, gen); err != nil {
+		if fault.IsCrash(err) {
+			s.crash(err)
+		}
+		return err
+	}
+	if err := cpCheckpointPostWM.Check(); err != nil {
 		s.crash(err)
 		return err
 	}
-	if err := s.wal.Truncate(); err != nil {
+	if err := s.wal.TruncatePrefix(watermark); err != nil {
 		if fault.IsCrash(err) {
 			s.crash(err)
 		}

@@ -62,9 +62,10 @@ type Store struct {
 	dirty  []bool
 
 	// latches synchronizes off-lock payload reads with commit installs
-	// (see pageLatches). Flush and the open/create paths skip it: they
-	// run with installs excluded by the server lock, and concurrent
-	// latched readers never write frame bytes.
+	// (see pageLatches). flushPages also takes each page's latch for the
+	// copy + dirty-clear pair, which is what lets the fuzzy checkpoint
+	// flush concurrently with installs; the open/create paths alone skip
+	// it (nothing else can hold the store yet).
 	latches pageLatches
 }
 
@@ -247,32 +248,79 @@ func (s *Store) WritePage(p core.PageID, data []byte) error {
 	return nil
 }
 
-// Flush writes all dirty pages (with checksums) to the file and syncs.
-func (s *Store) Flush() error {
+// flushPages writes dirty pages selected by owned (nil = all) back to the
+// file with fresh checksums, without fsyncing. Each page's frame copy and
+// dirty-flag clear happen together under its exclusive latch, so flushing
+// runs concurrently with commit installs: an install that lands before
+// the copy is flushed now, one that lands after re-dirties the page for
+// the next flush. On a write error the page is re-marked dirty before
+// returning — the flag may only go clean once the bytes are actually in
+// the file, or a later checkpoint would truncate the WAL record that
+// still covers them.
+func (s *Store) flushPages(owned func(core.PageID) bool) (int, error) {
 	buf := make([]byte, s.pageSize)
-	wrote := false
+	wrote := 0
 	for p := 0; p < s.numPages; p++ {
-		if !s.dirty[p] {
+		pid := core.PageID(p)
+		if owned != nil && !owned(pid) {
 			continue
 		}
-		if wrote {
+		l := s.latches.shard(pid)
+		l.Lock()
+		if !s.dirty[p] {
+			l.Unlock()
+			continue
+		}
+		if wrote > 0 {
 			if err := cpFlushPartial.Check(); err != nil {
-				return err
+				l.Unlock()
+				return wrote, err
 			}
 		}
 		copy(buf, s.frames[p])
-		binary.LittleEndian.PutUint32(buf[s.payload():], crc32.ChecksumIEEE(s.frames[p]))
-		if _, err := s.f.WriteAt(buf, int64(s.pageSize)*int64(p+1)); err != nil {
-			return err
-		}
 		s.dirty[p] = false
-		wrote = true
+		l.Unlock()
+		binary.LittleEndian.PutUint32(buf[s.payload():], crc32.ChecksumIEEE(buf[:s.payload()]))
+		if _, err := s.f.WriteAt(buf, int64(s.pageSize)*int64(p+1)); err != nil {
+			l.Lock()
+			s.dirty[p] = true
+			l.Unlock()
+			return wrote, err
+		}
+		wrote++
+	}
+	return wrote, nil
+}
+
+// Flush writes all dirty pages (with checksums) to the file and syncs.
+func (s *Store) Flush() error {
+	if _, err := s.flushPages(nil); err != nil {
+		return err
 	}
 	if err := cpFlushPreSync.Check(); err != nil {
 		return err
 	}
 	return s.f.Sync()
 }
+
+// FlushOwned flushes the dirty pages selected by owned and syncs, and
+// returns how many pages it wrote. The fuzzy checkpoint calls it once per
+// engine shard, so no single flush ever stalls the whole store. When
+// nothing in the selection was dirty, the fsync (and its crash point) is
+// skipped — there is no write to lose.
+func (s *Store) FlushOwned(owned func(core.PageID) bool) (int, error) {
+	n, err := s.flushPages(owned)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	if err := cpFlushPreSync.Check(); err != nil {
+		return n, err
+	}
+	return n, s.f.Sync()
+}
+
+// syncFile fsyncs the store file (pairs with flushPages).
+func (s *Store) syncFile() error { return s.f.Sync() }
 
 // DirtyPages returns how many pages are dirty in memory (unflushed).
 func (s *Store) DirtyPages() int {

@@ -469,7 +469,14 @@ func (s *VStore) OverflowPages() int {
 }
 
 // Flush writes dirty pages with checksums and syncs. It traverses the
-// same crash points as Store.Flush (see internal/fault).
+// same crash points as Store.Flush (see internal/fault). Unlike the
+// fixed-slot store there is no per-page incremental flush and no parallel
+// replay: installs can compact a page, relocate an object to an overflow
+// frame, or grow the file, so page contents depend on global apply order
+// and only a stop-world flush (the checkpoint holds installMu exclusive)
+// sees a consistent layout. Dirty flags clear only after the page's bytes
+// are in the file — a write error must leave the page dirty, or a later
+// checkpoint would truncate WAL records that still cover it.
 func (s *VStore) Flush() error {
 	if err := s.writeHeader(); err != nil {
 		return err

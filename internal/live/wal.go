@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,11 +38,15 @@ import (
 // yet-acked data can never become durable ahead of it.
 
 // Crash points on the log's durability boundaries (see internal/fault).
+// cpRecoverMidReplay fires inside replay itself: recovery is the one code
+// path that must survive its own crash (the double-crash suites arm it
+// and recover twice).
 var (
-	cpWALPreFrame = fault.Register("wal.append.pre-frame")
-	cpWALTornTail = fault.Register("wal.append.torn-write")
-	cpWALPreSync  = fault.Register("wal.append.pre-sync")
-	cpWALTruncate = fault.Register("wal.truncate.pre")
+	cpWALPreFrame      = fault.Register("wal.append.pre-frame")
+	cpWALTornTail      = fault.Register("wal.append.torn-write")
+	cpWALPreSync       = fault.Register("wal.append.pre-sync")
+	cpWALTruncate      = fault.Register("wal.truncate.pre")
+	cpRecoverMidReplay = fault.Register("recover.mid-replay")
 )
 
 // errWALCrashed is the sticky error waiters see after a fail-stop crash
@@ -70,7 +75,8 @@ type walRecord struct {
 // WAL is an append-only redo log with length+CRC framing and group
 // commit.
 type WAL struct {
-	f *os.File
+	f    *os.File
+	path string
 
 	// SyncOnCommit forces commits to wait for an fsync (durable but slow;
 	// tests turn it off). Set before serving; not data-race guarded.
@@ -96,6 +102,12 @@ type WAL struct {
 	// not (that is the point of group commit).
 	mu   sync.Mutex
 	cond *sync.Cond
+	// Offsets are LOGICAL: monotonically increasing over the log's whole
+	// life, never reset by a prefix truncation. base is the logical offset
+	// of the current file's first byte — TruncatePrefix advances it instead
+	// of rebasing off/synced, so group-commit tickets (logical offsets)
+	// issued before a checkpoint's truncation stay valid through it.
+	base int64
 	off  int64
 	// synced is the offset known to be durable (fsynced). A simulated
 	// crash discards everything past it, modeling lost page-cache writes.
@@ -120,31 +132,53 @@ type WAL struct {
 	metrics *serverMetrics
 }
 
-// Len returns the current log length in bytes (the append offset).
+// Len returns the bytes currently in the log file (the physical length,
+// which a prefix truncation shrinks even though logical offsets march on).
 func (w *WAL) Len() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.off - w.base
+}
+
+// tail returns the logical append offset — the watermark candidate for a
+// checkpoint: every record appended so far ends at or below it.
+func (w *WAL) tail() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.off
 }
 
 // OpenWAL opens (or creates) the log at path, positioned for appending
-// after the last valid record. It returns the records found by that scan
-// so recovery can replay them without re-reading the file.
-func OpenWAL(path string) (*WAL, []*walRecord, error) {
+// after the last valid record. It returns the scan (records plus the
+// checkpoint watermark) so recovery can replay without re-reading the
+// file. Any bytes past the last valid frame — a torn tail or a corrupt
+// frame — are physically cut off before the first append, so stale
+// garbage can never sit under (and re-corrupt) future frames.
+func OpenWAL(path string) (*WAL, *walScan, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	w := &WAL{f: f, SyncOnCommit: true}
+	w := &WAL{f: f, path: path, SyncOnCommit: true}
 	w.cond = sync.NewCond(&w.mu)
-	recs, off, err := scanWAL(f)
+	scan, err := scanWAL(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	w.off = off
-	w.synced = off // on-disk bytes are durable by definition
-	return w, recs, nil
+	if fi, err := f.Stat(); err == nil && fi.Size() > scan.off {
+		if err := f.Truncate(scan.off); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	w.off = scan.off
+	w.synced = scan.off // on-disk bytes are durable by definition
+	return w, scan, nil
 }
 
 // encodeWALFrame encodes rec into a complete length+CRC frame. It takes
@@ -192,12 +226,12 @@ func (w *WAL) appendFrame(frame []byte) (ticket, gen int64, err error) {
 	if err := cpWALTornTail.Check(); err != nil {
 		// Simulate a torn write: half the frame reaches the file before
 		// the process dies. Recovery must stop at the previous record.
-		w.f.WriteAt(frame[:len(frame)/2], w.off)
+		w.f.WriteAt(frame[:len(frame)/2], w.off-w.base)
 		w.syncErr = err
 		w.cond.Broadcast()
 		return 0, 0, err
 	}
-	if _, err := w.f.WriteAt(frame, w.off); err != nil {
+	if _, err := w.f.WriteAt(frame, w.off-w.base); err != nil {
 		w.syncErr = err
 		w.cond.Broadcast()
 		return 0, 0, err
@@ -274,6 +308,10 @@ func (w *WAL) leadSync() {
 		w.mu.Lock()
 	}
 	target, batch, tgen := w.off, w.recsSinceSync, w.gen
+	// Capture the handle under mu: TruncatePrefix swaps w.f (it waits for
+	// syncing to clear first, so the swap never races this sync — but the
+	// pointer read must still happen before mu is released).
+	f := w.f
 	w.recsSinceSync = 0
 	if w.batchEMA == 0 {
 		w.batchEMA = batch * 16
@@ -283,7 +321,7 @@ func (w *WAL) leadSync() {
 	w.mu.Unlock()
 
 	start := time.Now()
-	err := w.f.Sync()
+	err := f.Sync()
 	dur := time.Since(start)
 
 	w.mu.Lock()
@@ -319,20 +357,70 @@ func (w *WAL) Append(rec *walRecord) error {
 	return w.WaitDurable(ticket, gen)
 }
 
-// Truncate discards the log (after a checkpoint made it redundant).
-// Every in-flight committer from the old generation is released as
-// durable: truncation only happens after a store flush that covers all
-// installed updates.
+// appendCheckpoint logs a checkpoint watermark frame: every record frame
+// ending at or below covered (a logical offset from tail()) has been
+// flushed to the store, so recovery may skip it. The body encodes the
+// DISTANCE from this frame's start back to covered, not an absolute
+// offset — a later prefix truncation shifts the frame and the region it
+// covers by the same amount, so a scan recomputes the same boundary in
+// file offsets no matter how much prefix has been cut. The returned
+// (ticket, gen) feed WaitDurable like any append.
+func (w *WAL) appendCheckpoint(covered int64) (ticket, gen int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.syncErr != nil {
+		return 0, 0, w.syncErr
+	}
+	if covered < w.base {
+		covered = w.base
+	}
+	if covered > w.off {
+		covered = w.off
+	}
+	body := appendCheckpointBody(nil, w.off-covered)
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := w.f.WriteAt(frame, w.off-w.base); err != nil {
+		w.syncErr = err
+		w.cond.Broadcast()
+		return 0, 0, err
+	}
+	w.off += int64(len(frame))
+	if w.metrics != nil {
+		w.metrics.walBytes.Add(int64(len(frame)))
+	}
+	return w.off, w.gen, nil
+}
+
+// waitNotSyncing parks until no group fsync is in flight (mu held). The
+// truncation paths replace or shrink w.f; doing that under a concurrent
+// leader's fsync would either race the handle or feed the leader an error
+// that poisons the log.
+func (w *WAL) waitNotSyncing() {
+	for w.syncing {
+		w.cond.Wait()
+	}
+}
+
+// Truncate discards the whole log (after a checkpoint or clean shutdown
+// made it redundant). Every in-flight committer from the old generation
+// is released as durable: truncation only happens after a store flush
+// that covers all installed updates. The file shrinks in place — no
+// rename, so no directory fsync is needed (contrast TruncatePrefix).
 func (w *WAL) Truncate() error {
 	if err := cpWALTruncate.Check(); err != nil {
 		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.waitNotSyncing()
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	w.off = 0
+	w.base = 0
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
@@ -343,8 +431,92 @@ func (w *WAL) Truncate() error {
 	return nil
 }
 
-// Close closes the log file.
-func (w *WAL) Close() error { return w.f.Close() }
+// TruncatePrefix discards the log prefix below the logical offset limit —
+// the watermark a completed checkpoint flushed. The surviving tail is
+// copied into a fresh file that replaces the log by rename; the new file
+// is fsynced before the rename and the directory after it, so a crash at
+// any step leaves either the old complete log or the new complete one on
+// disk, never a half-cut file. Logical offsets are untouched (base moves
+// instead), so group-commit tickets issued before the truncation stay
+// valid, and since everything in the new file is fsynced the whole log
+// comes out durable (synced catches up to off).
+func (w *WAL) TruncatePrefix(limit int64) error {
+	if err := cpWALTruncate.Check(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waitNotSyncing()
+	if w.syncErr != nil {
+		return w.syncErr
+	}
+	if limit > w.off {
+		limit = w.off
+	}
+	if limit <= w.base {
+		return nil // nothing below the watermark survives in this file
+	}
+	tail := make([]byte, w.off-limit)
+	if _, err := w.f.ReadAt(tail, limit-w.base); err != nil && !(errors.Is(err, io.EOF) && len(tail) == 0) {
+		return err
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if len(tail) > 0 {
+		if _, err := tmp.WriteAt(tail, 0); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		return fail(err)
+	}
+	w.f.Close()
+	w.f = tmp
+	w.base = limit
+	if w.off > w.synced {
+		w.synced = w.off
+	}
+	w.cond.Broadcast()
+	return syncDir(filepath.Dir(w.path))
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close fsyncs and closes the log. Without the sync, a clean shutdown
+// could leave tail records only in the page cache — records a crash right
+// after would silently drop, making "clean shutdown then restart" and
+// "crash then recover" diverge.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil && w.syncErr == nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
 
 // crash closes the log as a dying process would: bytes written but never
 // fsynced are discarded (the OS page cache died with the machine), and
@@ -353,7 +525,7 @@ func (w *WAL) Close() error { return w.f.Close() }
 func (w *WAL) crash() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.f.Truncate(w.synced)
+	w.f.Truncate(w.synced - w.base)
 	w.f.Close()
 	if w.syncErr == nil {
 		w.syncErr = errWALCrashed
@@ -361,83 +533,260 @@ func (w *WAL) crash() {
 	w.cond.Broadcast()
 }
 
-// scanWAL reads every valid record from the start of the file, stopping at
-// the first torn/invalid frame (crash tail). Bodies are binary
-// (walFormatBinary, codec.go); bodies from logs written before the binary
-// codec fall back to gob — the one-shot migration read path: recovery
-// replays them, and the post-recovery truncation retires the old format.
-func scanWAL(f *os.File) ([]*walRecord, int64, error) {
-	var recs []*walRecord
-	var off int64
+// walScan is the result of one pass over the log: the committed records,
+// where each one's frame ends, and the checkpoint watermark — the file
+// prefix whose effects a completed checkpoint already flushed to the
+// store (0 when no watermark frame survived).
+type walScan struct {
+	recs    []*walRecord
+	ends    []int64 // ends[i]: file offset one past recs[i]'s frame
+	covered int64   // records ending at or below this offset are in the store
+	off     int64   // append offset: end of the last valid frame
+}
+
+// scanWAL reads every valid frame from the start of the file, stopping at
+// the first torn/invalid one (crash tail): a bad length, a short body, or
+// a CRC mismatch all end the scan without poisoning the valid prefix —
+// a flipped bit in frame k yields exactly frames 0..k-1. Record bodies
+// are binary (walFormatBinary, codec.go); bodies from logs written before
+// the binary codec fall back to gob — the one-shot migration read path:
+// recovery replays them, and the post-recovery truncation retires the old
+// format. Checkpoint watermark frames (walFormatCheckpoint) advance
+// covered instead of yielding a record.
+func scanWAL(f *os.File) (*walScan, error) {
+	scan := &walScan{}
 	hdr := make([]byte, 8)
 	for {
-		if _, err := f.ReadAt(hdr, off); err != nil {
+		if _, err := f.ReadAt(hdr, scan.off); err != nil {
 			if errors.Is(err, io.EOF) {
-				return recs, off, nil
+				return scan, nil
 			}
-			return nil, 0, err
+			return nil, err
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:])
 		want := binary.LittleEndian.Uint32(hdr[4:])
 		if n == 0 || n > 1<<28 {
-			return recs, off, nil // torn or garbage tail
+			return scan, nil // torn or garbage tail
 		}
 		body := make([]byte, n)
-		if _, err := f.ReadAt(body, off+8); err != nil {
-			return recs, off, nil // torn tail
+		if _, err := f.ReadAt(body, scan.off+8); err != nil {
+			return scan, nil // torn tail
 		}
 		if crc32.ChecksumIEEE(body) != want {
-			return recs, off, nil
+			return scan, nil
+		}
+		if body[0] == walFormatCheckpoint {
+			delta, ok := decodeCheckpointBody(body)
+			if !ok {
+				return scan, nil
+			}
+			if c := scan.off - delta; c > scan.covered {
+				scan.covered = c
+			}
+			scan.off += int64(8 + n)
+			continue
 		}
 		rec, err := decodeWALRecord(body)
 		if err != nil {
 			// Legacy gob body (pre-binary-codec log): migrate on read.
 			var grec walRecord
 			if gob.NewDecoder(bytes.NewReader(body)).Decode(&grec) != nil {
-				return recs, off, nil
+				return scan, nil
 			}
 			rec = &grec
 		}
-		recs = append(recs, rec)
-		off += int64(8 + n)
+		scan.recs = append(scan.recs, rec)
+		scan.off += int64(8 + n)
+		scan.ends = append(scan.ends, scan.off)
 	}
 }
 
-// replayRecords applies committed records (in log order) to the store and
+// RecoveryStats reports what one recovery replay did.
+type RecoveryStats struct {
+	Records        int   // committed records replayed
+	RecordsSkipped int   // records below the checkpoint watermark (already in the store)
+	PagesReplayed  int   // distinct pages that received at least one replayed image
+	PagesSkipped   int   // distinct pages whose logged images were all below the watermark
+	Jobs           int   // replay workers used
+	ApplyNs        int64 // wall time of the image-apply + page-write phase (the part that parallelizes)
+	DurationNs     int64 // total replay wall time including the final fsync
+}
+
+// replayRecords applies committed records to the store in log order and
 // flushes it. Replay is idempotent: records are object afterimages, so
-// applying them over an already-recovered store rewrites the same bytes.
-func replayRecords(store objectStore, recs []*walRecord) (int, error) {
-	for _, rec := range recs {
+// applying them over an already-(partially-)recovered store rewrites the
+// same bytes — which is what makes a crash DURING recovery harmless.
+// Records wholly below the scan's checkpoint watermark are skipped: a
+// completed checkpoint already flushed their effects (skipping is an
+// optimization, not a correctness requirement, so a conservative
+// watermark only costs time).
+//
+// With jobs > 1 and the fixed-slot store, the apply phase is partitioned
+// by page hash across workers. Partitions own disjoint page sets and each
+// worker applies its writes in log order, so the result is byte-identical
+// to a serial replay: writes to different pages land in disjoint bytes,
+// and writes to the same page are ordered by the one worker that owns it.
+// The page write-back (checksum + pwrite) is partitioned the same way,
+// leaving only the final fsync serial. The variable store always replays
+// serially: its installs relocate objects across overflow frames, so the
+// resulting layout depends on global apply order.
+func replayRecords(store objectStore, scan *walScan, jobs int) (RecoveryStats, error) {
+	start := time.Now()
+	var st RecoveryStats
+
+	// Partition the scan into skipped and live records up front — counts
+	// must not depend on how far a failed replay got, and a malformed
+	// record should abort before any write, not after half of them.
+	appliedPages := make(map[core.PageID]struct{})
+	skippedPages := make(map[core.PageID]struct{})
+	var live []*walRecord
+	for i, rec := range scan.recs {
 		if !rec.Commit {
 			continue
 		}
 		if len(rec.Objs) != len(rec.Images) {
-			return 0, fmt.Errorf("live: malformed WAL record for txn %d", rec.Txn)
+			return st, fmt.Errorf("live: malformed WAL record for txn %d", rec.Txn)
 		}
+		if scan.ends[i] <= scan.covered {
+			st.RecordsSkipped++
+			for _, o := range rec.Objs {
+				skippedPages[o.Page] = struct{}{}
+			}
+			continue
+		}
+		st.Records++
+		live = append(live, rec)
+		for _, o := range rec.Objs {
+			appliedPages[o.Page] = struct{}{}
+		}
+	}
+	st.PagesReplayed = len(appliedPages)
+	for p := range skippedPages {
+		if _, ok := appliedPages[p]; !ok {
+			st.PagesSkipped++
+		}
+	}
+
+	fs, fixed := store.(*Store)
+	if jobs < 1 || !fixed {
+		jobs = 1
+	}
+	st.Jobs = jobs
+
+	applyStart := time.Now()
+	var err error
+	if fixed {
+		if jobs == 1 {
+			err = replaySerial(store, live)
+			if err == nil {
+				_, err = fs.flushPages(nil)
+			}
+		} else {
+			err = replayParallel(fs, live, jobs)
+		}
+		st.ApplyNs = time.Since(applyStart).Nanoseconds()
+		if err == nil {
+			if err = cpFlushPreSync.Check(); err == nil {
+				err = fs.syncFile()
+			}
+		}
+	} else {
+		err = replaySerial(store, live)
+		st.ApplyNs = time.Since(applyStart).Nanoseconds()
+		if err == nil {
+			err = store.Flush()
+		}
+	}
+	if err != nil {
+		return st, err
+	}
+	st.DurationNs = time.Since(start).Nanoseconds()
+	return st, nil
+}
+
+// replaySerial applies live records' images in log order.
+func replaySerial(store objectStore, live []*walRecord) error {
+	for _, rec := range live {
 		for i, o := range rec.Objs {
+			if err := cpRecoverMidReplay.Check(); err != nil {
+				return err
+			}
 			if err := store.WriteObj(o, rec.Images[i]); err != nil {
-				return 0, err
+				return err
 			}
 		}
 	}
-	if err := store.Flush(); err != nil {
-		return 0, err
+	return nil
+}
+
+// replayPart maps a page to its replay partition — the same multiplicative
+// hash the engine shards use, reduced mod jobs (which need not be a power
+// of two).
+func replayPart(p core.PageID, jobs int) int {
+	h := uint32(p) * 2654435761
+	return int((h >> 16) % uint32(jobs))
+}
+
+// replayParallel runs the partitioned apply + page write-back (no fsync;
+// the caller owns that). Each worker finishes applying its partition's
+// images before writing that partition's dirty pages back, and no other
+// worker touches those pages, so per-partition ordering is exactly the
+// serial order.
+func replayParallel(store *Store, live []*walRecord, jobs int) error {
+	type write struct {
+		o   core.ObjID
+		img []byte
 	}
-	return len(recs), nil
+	parts := make([][]write, jobs)
+	for _, rec := range live {
+		for i, o := range rec.Objs {
+			j := replayPart(o.Page, jobs)
+			parts[j] = append(parts[j], write{o, rec.Images[i]})
+		}
+	}
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for j := range parts {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for _, wr := range parts[j] {
+				if err := cpRecoverMidReplay.Check(); err != nil {
+					errs[j] = err
+					return
+				}
+				if err := store.WriteObj(wr.o, wr.img); err != nil {
+					errs[j] = err
+					return
+				}
+			}
+			_, errs[j] = store.flushPages(func(p core.PageID) bool {
+				return replayPart(p, jobs) == j
+			})
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recover replays the committed records in the log at walPath against the
-// store. It shares one scan with the WAL it returns open (positioned for
-// appending); callers own closing it. Missing log: fresh empty WAL.
-func Recover(store objectStore, walPath string) (*WAL, int, error) {
-	w, recs, err := OpenWAL(walPath)
+// store with jobs parallel workers (1 = serial). It shares one scan with
+// the WAL it returns open (positioned for appending); callers own closing
+// it. Missing log: fresh empty WAL.
+func Recover(store objectStore, walPath string, jobs int) (*WAL, RecoveryStats, error) {
+	w, scan, err := OpenWAL(walPath)
 	if err != nil {
-		return nil, 0, err
+		return nil, RecoveryStats{}, err
 	}
-	n, err := replayRecords(store, recs)
+	st, err := replayRecords(store, scan, jobs)
 	if err != nil {
 		w.Close()
-		return nil, 0, err
+		return nil, st, err
 	}
-	return w, n, nil
+	return w, st, nil
 }

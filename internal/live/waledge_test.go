@@ -1,7 +1,9 @@
 package live
 
 import (
+	"bytes"
 	"encoding/binary"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -14,12 +16,12 @@ import (
 func walWithRecords(t *testing.T, n int) (string, []int64) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, recs, err := OpenWAL(path)
+	w, scan, err := OpenWAL(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 0 {
-		t.Fatalf("fresh WAL scanned %d records", len(recs))
+	if len(scan.recs) != 0 {
+		t.Fatalf("fresh WAL scanned %d records", len(scan.recs))
 	}
 	offs := make([]int64, n)
 	for i := 0; i < n; i++ {
@@ -48,11 +50,11 @@ func scanFile(t *testing.T, path string) ([]*walRecord, int64) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	recs, off, err := scanWAL(f)
+	scan, err := scanWAL(f)
 	if err != nil {
 		t.Fatalf("scanWAL returned a hard error: %v", err)
 	}
-	return recs, off
+	return scan.recs, scan.off
 }
 
 func appendRaw(t *testing.T, path string, b []byte) {
@@ -136,6 +138,174 @@ func TestScanWALOversizedLengthField(t *testing.T) {
 	}
 	if off != offs[0] {
 		t.Fatalf("resume offset %d, want %d", off, offs[0])
+	}
+}
+
+// TestScanWALBitFlipFuzz sprays random bit flips into the middle of one
+// frame and requires the scan to degrade exactly one way: yield the clean
+// prefix before the damaged frame and resume there — never a hard error,
+// never a phantom record, never a poisoned earlier record. The seed is
+// fixed, so a surviving trial stays surviving.
+func TestScanWALBitFlipFuzz(t *testing.T) {
+	path, offs := walWithRecords(t, 5)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(t.TempDir(), "fuzz.log")
+	frameStart, frameEnd := offs[1], offs[2] // record index 2's frame
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 256; trial++ {
+		buf := append([]byte(nil), orig...)
+		for k, flips := 0, 1+rng.Intn(3); k < flips; k++ {
+			pos := frameStart + rng.Int63n(frameEnd-frameStart)
+			buf[pos] ^= 1 << uint(rng.Intn(8))
+		}
+		if bytes.Equal(buf, orig) {
+			continue // flips cancelled each other out
+		}
+		if err := os.WriteFile(target, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, off := scanFile(t, target)
+		if len(recs) != 2 || off != offs[1] {
+			t.Fatalf("trial %d: scanned %d records to offset %d, want 2 records to %d",
+				trial, len(recs), off, offs[1])
+		}
+		for i, rec := range recs {
+			if rec.Txn != core.TxnID(100+i) {
+				t.Fatalf("trial %d: surviving record %d has Txn %d", trial, i, rec.Txn)
+			}
+		}
+	}
+}
+
+// TestScanWALCheckpointWatermark exercises the watermark frame end to
+// end: scan picks the covered offset back up, prefix truncation shifts
+// frame and coverage together (the delta encoding is what makes the
+// watermark survive the very truncation it authorizes), and a corrupted
+// watermark degrades to covered=0 — replay everything, conservatively.
+func TestScanWALCheckpointWatermark(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := make([]int64, 3)
+	appendRec := func(i int) {
+		t.Helper()
+		if err := w.Append(&walRecord{Txn: core.TxnID(100 + i), Client: 1,
+			Objs: []core.ObjID{o(core.PageID(i), 0)}, Images: [][]byte{{byte(i), 1}},
+			Commit: true}); err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = w.off
+	}
+	appendRec(0)
+	appendRec(1)
+	ticket, gen, err := w.appendCheckpoint(offs[0]) // watermark covering record 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(ticket, gen); err != nil {
+		t.Fatal(err)
+	}
+	wmStart := offs[1] // the watermark frame begins where record 1 ended
+	appendRec(2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := scanWAL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.recs) != 3 || scan.covered != offs[0] {
+		t.Fatalf("scan: %d records, covered=%d; want 3 records, covered=%d",
+			len(scan.recs), scan.covered, offs[0])
+	}
+
+	// Truncate the covered prefix; the watermark must still decode — now to
+	// covered=0, since nothing below it survives in the new file.
+	w2, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.TruncatePrefix(offs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := scanFile(t, path)
+	if len(recs) != 2 || recs[0].Txn != 101 || recs[1].Txn != 102 {
+		t.Fatalf("post-truncation scan: %d records (first Txn %d), want records 101,102",
+			len(recs), recs[0].Txn)
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan2, err := scanWAL(f2)
+	f2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan2.covered != 0 {
+		t.Fatalf("post-truncation covered=%d, want 0", scan2.covered)
+	}
+
+	// A flipped bit inside the watermark body stops the scan at the frame:
+	// earlier records survive, coverage resets to zero. Rebuild the
+	// pre-truncation image in a second file and damage its watermark.
+	path2 := filepath.Join(t.TempDir(), "wal2.log")
+	w3, _, err := OpenWAL(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w3
+	appendRec(0)
+	appendRec(1)
+	ticket, gen, err = w3.appendCheckpoint(offs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.WaitDurable(ticket, gen); err != nil {
+		t.Fatal(err)
+	}
+	appendRec(2)
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := os.OpenFile(path2, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.WriteAt([]byte{0xff}, wmStart+9); err != nil { // inside the watermark body
+		t.Fatal(err)
+	}
+	fw.Close()
+	recs, off := scanFile(t, path2)
+	if len(recs) != 2 || off != wmStart {
+		t.Fatalf("corrupt watermark: %d records to offset %d, want 2 records stopping at %d",
+			len(recs), off, wmStart)
+	}
+	f3, err := os.Open(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan3, err := scanWAL(f3)
+	f3.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan3.covered != 0 {
+		t.Fatalf("corrupt watermark left covered=%d, want 0 (replay everything)", scan3.covered)
 	}
 }
 

@@ -153,6 +153,10 @@ type ClusterOptions struct {
 	// min(8, GOMAXPROCS), honoring OODB_SHARDS; 1 disables sharding). See
 	// ServerOptions.Shards.
 	Shards int
+	// RecoveryJobs is the number of parallel WAL replay workers used during
+	// startup recovery (0: min(shards, GOMAXPROCS), honoring
+	// OODB_RECOVERY_JOBS; 1: serial replay). See ServerOptions.RecoveryJobs.
+	RecoveryJobs int
 	// VariableObjects enables size-changing updates (slotted pages with
 	// overflow forwarding); requires Proto == OS.
 	VariableObjects bool
@@ -183,6 +187,7 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 	srv, err := live.OpenServer(dir, live.ServerOptions{
 		Proto: opts.Proto, PageSize: opts.PageSize, ObjsPerPage: opts.ObjsPerPage,
 		NumPages: opts.NumPages, SyncWAL: opts.SyncWAL, Shards: opts.Shards,
+		RecoveryJobs:    opts.RecoveryJobs,
 		VariableObjects: opts.VariableObjects,
 		CallbackTimeout: opts.CallbackTimeout,
 		Metrics:         opts.Metrics,
