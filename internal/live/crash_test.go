@@ -23,6 +23,7 @@ var livePoints = []string{
 	"wal.append.torn-write",
 	"wal.append.pre-sync",
 	"wal.truncate.pre",
+	"wal.truncate.pre-dirsync",
 	"store.flush.partial",
 	"store.flush.pre-sync",
 	"checkpoint.mid",
@@ -297,4 +298,83 @@ func TestCheckpointCrashBetweenFlushAndTruncate(t *testing.T) {
 		t.Fatalf("committed value lost across mid-checkpoint crash: %q", got[:10])
 	}
 	tx2.Commit()
+}
+
+// TestCheckpointForcesWALBeforeFlush pins the checkpoint's write-ahead
+// rule. Commits fsync only after installing, so with SyncOnCommit off
+// nothing here is durable in the log when the checkpoint starts — yet
+// the flush is about to make page images durable in the store. If the
+// checkpoint wrote pages without first forcing the WAL, a crash mid-flush
+// would durably keep SOME pages of a transaction while the crash discards
+// the log's unsynced tail: recovery then has no record to replay and the
+// store shows a torn transaction. The fix forces the log through the
+// watermark (and, per shard, through the post-copy tail) before any page
+// write, so recovery must always see every pair whole.
+func TestCheckpointForcesWALBeforeFlush(t *testing.T) {
+	const pairs = 8
+	dir := t.TempDir()
+	srv, err := OpenServer(dir, ServerOptions{
+		Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 2 * pairs,
+		Shards:  4, // 16 dirty pages over 4 shards: some shard flushes >= 2, so the partial-flush point must fire
+		SyncWAL: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := attachClient(t, srv)
+	// Each transaction writes the same sequence value to both pages of its
+	// pair; atomicity means the two sides can never disagree.
+	for k := 0; k < pairs; k++ {
+		tx, err := cl.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []core.PageID{core.PageID(2 * k), core.PageID(2*k + 1)} {
+			if err := tx.Write(o(p, 0), seqVal(uint32(k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	defer fault.DisarmAll()
+	fault.Get("store.flush.partial").Arm(1)
+	err = srv.Checkpoint()
+	if err == nil || !fault.IsCrash(err) {
+		t.Fatalf("checkpoint returned %v, want injected mid-flush crash", err)
+	}
+	cl.Close()
+	srv.Crash()
+	fault.DisarmAll()
+
+	srv2, err := OpenServer(dir, ServerOptions{Proto: core.PSAA, SyncWAL: false})
+	if err != nil {
+		t.Fatalf("recovery reopen: %v", err)
+	}
+	defer srv2.Close()
+	auditor := attachClient(t, srv2)
+	defer auditor.Close()
+	tx, err := auditor.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < pairs; k++ {
+		a, err := tx.Read(o(core.PageID(2*k), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tx.Read(o(core.PageID(2*k+1), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := binary.LittleEndian.Uint32(a[:4])
+		vb := binary.LittleEndian.Uint32(b[:4])
+		if va != vb {
+			t.Fatalf("transaction %d torn across the crash: page %d has seq %d, page %d has seq %d",
+				k, 2*k, va, 2*k+1, vb)
+		}
+	}
+	tx.Commit()
 }

@@ -1299,23 +1299,35 @@ func (s *Server) RecoveryStats() RecoveryStats { return s.recovery }
 //     (no I/O under the lock). Commits hold installMu shared across their
 //     append+install pair, so every record below W has fully installed:
 //     its pages are dirty in memory (or already on disk).
-//  2. Flush one engine shard's pages at a time (FlushOwned), each page
+//  2. Force the WAL durable through W (ForceTo). This is the write-ahead
+//     rule: commits fsync only in WaitDurable, AFTER installing, so a
+//     record below W can be installed yet not yet durable — and no page
+//     image may reach the store file before the records covering it are
+//     on disk, or a crash would durably keep partial effects of a
+//     transaction whose record died in the log's unsynced tail.
+//  3. Flush one engine shard's pages at a time (FlushOwned), each page
 //     under its own latch. Commits keep flowing: an install racing the
 //     flush either lands before the page's copy (flushed now) or after
 //     (re-dirties the page for the next checkpoint — and its record sits
-//     at or above W, surviving the truncation).
-//  3. Append a watermark frame ("records ending below W are in the
+//     at or above W, surviving the truncation). Records appended after W
+//     can land in copied images too, so each FlushOwned re-forces the WAL
+//     through its current tail between copying its pages and writing them
+//     (the force hook) — the same write-ahead rule, extended to the
+//     commits that flowed during the checkpoint.
+//  4. Append a watermark frame ("records ending below W are in the
 //     store") and wait for its durability.
-//  4. Truncate the prefix below W (TruncatePrefix; rename + dir fsync).
+//  5. Truncate the prefix below W (TruncatePrefix; rename + dir fsync).
 //
-// A crash before 3 leaves the log intact and replay is idempotent; a
-// crash between 3 and 4 leaves the watermark, and recovery skips the
-// covered prefix; a crash inside 4 leaves either the old or the new log
-// file, never a torn one (the checkpoint.* and store.flush.* crash points
-// exercise each window). The variable store keeps the stop-world flush —
-// its installs relocate objects across pages, so only a flush with
-// installs excluded sees a stable layout — but gains the same
-// watermark + prefix truncation.
+// A crash before 4 leaves the log intact (forced at least as far as any
+// flushed page's records) and replay is idempotent; a crash between 4
+// and 5 leaves the watermark, and recovery skips the covered prefix; a
+// crash inside 5 leaves either the old or the new log file, never a torn
+// one (the checkpoint.* and store.flush.* crash points exercise each
+// window). The variable store keeps the stop-world flush — its installs
+// relocate objects across pages, so only a flush with installs excluded
+// sees a stable layout — but gains the same WAL force (to W, which with
+// installs excluded covers everything installed) and watermark + prefix
+// truncation.
 func (s *Server) Checkpoint() error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
@@ -1337,8 +1349,18 @@ func (s *Server) Checkpoint() error {
 		s.installMu.Lock()
 		watermark = s.wal.tail()
 		s.installMu.Unlock()
+		if err := s.wal.ForceTo(watermark); err != nil {
+			if fault.IsCrash(err) {
+				s.crash(err)
+			}
+			return err
+		}
+		// Per-shard write-ahead hook: re-force through the tail read after
+		// the shard's pages were copied, covering commits that installed
+		// while earlier shards flushed (see FlushOwned).
+		force := func() error { return s.wal.ForceTo(s.wal.tail()) }
 		for i := range s.shards {
-			n, err := st.FlushOwned(func(p core.PageID) bool { return s.shardIdx(p) == i })
+			n, err := st.FlushOwned(func(p core.PageID) bool { return s.shardIdx(p) == i }, force)
 			if err != nil {
 				if fault.IsCrash(err) {
 					s.crash(err)
@@ -1350,8 +1372,13 @@ func (s *Server) Checkpoint() error {
 	} else {
 		s.installMu.Lock()
 		watermark = s.wal.tail()
-		flushed = s.store.DirtyPages()
-		err := s.store.Flush()
+		// Installs are excluded for the whole stop-world flush, so forcing
+		// through W covers every record that could be in a flushed page.
+		err := s.wal.ForceTo(watermark)
+		if err == nil {
+			flushed = s.store.DirtyPages()
+			err = s.store.Flush()
+		}
 		s.installMu.Unlock()
 		if err != nil {
 			if fault.IsCrash(err) {

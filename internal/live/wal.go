@@ -46,6 +46,7 @@ var (
 	cpWALTornTail      = fault.Register("wal.append.torn-write")
 	cpWALPreSync       = fault.Register("wal.append.pre-sync")
 	cpWALTruncate      = fault.Register("wal.truncate.pre")
+	cpWALDirSync       = fault.Register("wal.truncate.pre-dirsync")
 	cpRecoverMidReplay = fault.Register("recover.mid-replay")
 )
 
@@ -345,6 +346,34 @@ func (w *WAL) leadSync() {
 	w.cond.Broadcast()
 }
 
+// ForceTo makes the log durable through the logical offset limit — the
+// write-ahead half of the checkpoint's WAL rule: no page image may reach
+// the store file before the log records covering its installs are on
+// disk. Unlike WaitDurable it ignores SyncOnCommit (commit acking policy
+// and the WAL rule are separate contracts: a checkpoint that persists
+// pages must persist their covering records even when commits do not
+// wait for fsyncs) and takes no ticket generation: a full truncation
+// only follows a store flush covering every install, so a limit from an
+// older generation is already covered.
+func (w *WAL) ForceTo(limit int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	gen := w.gen
+	for {
+		if w.syncErr != nil {
+			return w.syncErr
+		}
+		if w.gen != gen || w.synced >= limit {
+			return nil
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		w.leadSync()
+	}
+}
+
 // Append logs one committed transaction's afterimages and (with
 // SyncOnCommit) waits for durability — the non-grouped convenience used
 // by tests and tools; the server's commit path calls append/WaitDurable
@@ -484,11 +513,30 @@ func (w *WAL) TruncatePrefix(limit int64) error {
 	w.f.Close()
 	w.f = tmp
 	w.base = limit
+	// The rename is not durable until its directory entry is fsynced:
+	// until then a crash can resurrect the old inode, and any commit acked
+	// against the new one would be silently lost with it. So the durability
+	// bookkeeping (synced catching up to off — everything in the new file
+	// was fsynced before the rename) waits for the directory fsync, and a
+	// failure there is fatal to the log — the same fail-stop policy as an
+	// append or fsync error — not a returnable hiccup the server could
+	// keep committing past.
+	derr := cpWALDirSync.Check()
+	if derr == nil {
+		derr = syncDir(filepath.Dir(w.path))
+	}
+	if derr != nil {
+		if w.syncErr == nil {
+			w.syncErr = derr
+		}
+		w.cond.Broadcast()
+		return derr
+	}
 	if w.off > w.synced {
 		w.synced = w.off
 	}
 	w.cond.Broadcast()
-	return syncDir(filepath.Dir(w.path))
+	return nil
 }
 
 // syncDir fsyncs a directory, making a rename inside it durable.
@@ -525,7 +573,13 @@ func (w *WAL) Close() error {
 func (w *WAL) crash() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.f.Truncate(w.synced - w.base)
+	// A prefix truncation that failed its directory fsync leaves base past
+	// synced (the catch-up waits for the fsync). The new file's content was
+	// fsynced before the rename, so none of it is losable — truncate only
+	// when synced still points inside this file.
+	if keep := w.synced - w.base; keep >= 0 {
+		w.f.Truncate(keep)
+	}
 	w.f.Close()
 	if w.syncErr == nil {
 		w.syncErr = errWALCrashed

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // walWithRecords writes n committed records and returns the log path plus
@@ -320,5 +321,79 @@ func TestScanWALZeroLengthFrame(t *testing.T) {
 	}
 	if off != offs[1] {
 		t.Fatalf("resume offset %d, want %d", off, offs[1])
+	}
+}
+
+// ForceTo is the checkpoint's write-ahead lever: it must make the log
+// durable through the requested offset even when SyncOnCommit is off
+// (commit acking policy and the WAL rule are separate contracts), so a
+// crash after a force loses nothing below it.
+func TestForceToMakesUnsyncedTailDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SyncOnCommit = false
+	for i := 0; i < 3; i++ {
+		if err := w.Append(&walRecord{Txn: core.TxnID(i + 1), Commit: true,
+			Objs: []core.ObjID{o(core.PageID(i), 0)}, Images: [][]byte{{byte(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.synced != 0 {
+		t.Fatalf("SyncOnCommit=false advanced synced to %d before any force", w.synced)
+	}
+	if err := w.ForceTo(w.tail()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.synced, w.tail(); got < want {
+		t.Fatalf("ForceTo left synced=%d, want >= %d", got, want)
+	}
+	w.crash() // discards the unsynced tail — which is now empty
+	recs, _ := scanFile(t, path)
+	if len(recs) != 3 {
+		t.Fatalf("crash after ForceTo kept %d records, want 3", len(recs))
+	}
+}
+
+// A directory-fsync failure inside TruncatePrefix must fail-stop the log:
+// the rename's durability is unknown (a crash could resurrect the old
+// inode), so acking any later commit against the new file would break
+// acked-implies-durable. The injected failure must poison the log so no
+// append after it can be acknowledged.
+func TestTruncatePrefixDirSyncFailureFailsStop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(&walRecord{Txn: core.TxnID(i + 1), Commit: true,
+			Objs: []core.ObjID{o(core.PageID(i), 0)}, Images: [][]byte{{byte(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	limit := w.tail()
+	if err := w.Append(&walRecord{Txn: 99, Commit: true,
+		Objs: []core.ObjID{o(9, 0)}, Images: [][]byte{{9}}}); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.DisarmAll()
+	fault.Get("wal.truncate.pre-dirsync").Arm(1)
+	err = w.TruncatePrefix(limit)
+	if err == nil || !fault.IsCrash(err) {
+		t.Fatalf("TruncatePrefix returned %v, want injected dir-fsync crash", err)
+	}
+	if err := w.Append(&walRecord{Txn: 100, Commit: true,
+		Objs: []core.ObjID{o(1, 0)}, Images: [][]byte{{1}}}); err == nil {
+		t.Fatal("append acknowledged on a log whose truncation rename has unknown durability")
+	}
+	w.crash()
+	// The renamed file holds the surviving tail record; recovery still
+	// replays it (the fail-stop protects future acks, not past ones).
+	recs, _ := scanFile(t, path)
+	if len(recs) != 1 || recs[0].Txn != 99 {
+		t.Fatalf("post-crash scan found %d records, want the surviving tail record", len(recs))
 	}
 }
