@@ -10,7 +10,9 @@
 // -max-regress bounds the allocs/op increase (allocation counts are
 // deterministic, so the tolerance is tight). -max-slower bounds the
 // ns/op increase; 0 disables it (wall-clock is noisy across CI hosts, so
-// callers opt in with a loose bound).
+// callers opt in with a loose bound). -max-tps-drop bounds the txn/s
+// decrease against the baseline; 0 disables it (used to keep the
+// disabled-telemetry commit path from quietly taxing throughput).
 //
 // Baselines are compared like-for-like on core count: a run benched at
 // GOMAXPROCS=4 must not be judged against numbers recorded at
@@ -80,6 +82,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_figures.json", "baseline file")
 	maxRegress := flag.Float64("max-regress", 5.0, "max allowed allocs/op regression, percent")
 	maxSlower := flag.Float64("max-slower", 0, "max allowed ns/op regression, percent (0 disables)")
+	maxTPSDrop := flag.Float64("max-tps-drop", 0, "max allowed txn/s drop vs baseline, percent (0 disables)")
 	gomaxprocs := flag.Int("gomaxprocs", 0,
 		"only compare against baseline runs recorded at this GOMAXPROCS (0 = this process's; -1 = any)")
 	scaleBase := flag.String("scale-base", "",
@@ -103,7 +106,7 @@ func main() {
 	if *scaleBase != "" {
 		failed = checkScaling(*scaleBase, current, *minScale)
 	} else {
-		failed = checkBaseline(*baselinePath, current, *maxRegress, *maxSlower, *gomaxprocs)
+		failed = checkBaseline(*baselinePath, current, *maxRegress, *maxSlower, *maxTPSDrop, *gomaxprocs)
 	}
 	if !failed && *record != "" {
 		if err := recordRuns(*record, current, *note); err != nil {
@@ -117,7 +120,7 @@ func main() {
 
 // checkBaseline compares current against the latest recorded like-for-like
 // run in the benchjson file; returns true on regression.
-func checkBaseline(path string, current map[string]measurement, maxRegress, maxSlower float64, procsWant int) bool {
+func checkBaseline(path string, current map[string]measurement, maxRegress, maxSlower, maxTPSDrop float64, procsWant int) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -134,6 +137,7 @@ func checkBaseline(path string, current map[string]measurement, maxRegress, maxS
 	// old baselines keep guarding until like-for-like ones land.
 	baseAllocs := map[string]float64{}
 	baseNs := map[string]float64{}
+	baseTPS := map[string]float64{}
 	matched := 0
 	for _, run := range bf.Runs {
 		if procsWant > 0 && run.GOMAXPROCS != 0 && run.GOMAXPROCS != procsWant {
@@ -143,6 +147,7 @@ func checkBaseline(path string, current map[string]measurement, maxRegress, maxS
 		for name, b := range run.Benchmarks {
 			baseAllocs[name] = b.AllocsPerOp
 			baseNs[name] = b.NsPerOp
+			baseTPS[name] = b.OpsPerSec
 		}
 	}
 	if len(baseAllocs) == 0 {
@@ -179,11 +184,23 @@ func checkBaseline(path string, current map[string]measurement, maxRegress, maxS
 					name, m.nsPerOp, bns, deltaPct, status)
 			}
 		}
+		if maxTPSDrop > 0 {
+			if btps := baseTPS[name]; btps > 0 && m.opsPerSec > 0 {
+				dropPct := (btps - m.opsPerSec) / btps * 100
+				status := "ok"
+				if dropPct > maxTPSDrop {
+					status = "FAIL"
+					failed = true
+				}
+				fmt.Printf("benchguard: %-50s %10.0f txn/s     (baseline %.0f, %+.2f%%) %s\n",
+					name, m.opsPerSec, btps, -dropPct, status)
+			}
+		}
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr,
-			"benchguard: regression beyond allowed bounds (allocs/op > %.1f%% or ns/op > %.1f%%)\n",
-			maxRegress, maxSlower)
+			"benchguard: regression beyond allowed bounds (allocs/op > %.1f%%, ns/op > %.1f%%, or txn/s drop > %.1f%%)\n",
+			maxRegress, maxSlower, maxTPSDrop)
 	}
 	return failed
 }

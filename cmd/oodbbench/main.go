@@ -6,6 +6,7 @@
 // Examples:
 //
 //	oodbbench -proto PS-AA -clients 8 -txns 500 -hot            # in-process
+//	oodbbench -proto PS-AA -clients 8 -txns 500 -hot -heat      # + heat summary
 //	oodbbench -addr 127.0.0.1:7090 -clients 8 -txns 500         # remote
 package main
 
@@ -42,6 +43,9 @@ func main() {
 		"per-request deadline for remote clients (0 = wait forever)")
 	reconnect := flag.Bool("reconnect", false,
 		"redial remote servers with backoff after transport failures")
+	heat := flag.Bool("heat", false,
+		"collect heat telemetry on the in-process server and print the final "+
+			"top-K hot/contended page summary")
 	metricsEvery := flag.Duration("metrics-every", 0,
 		"dump the metrics snapshot at this interval while running (0 = off)")
 	benchOut := flag.String("benchjson", "",
@@ -52,6 +56,7 @@ func main() {
 	var connect func() (*repro.Client, error)
 	var numPages, objsPerPage int
 	var statsFn func() core.ServerStats
+	var heatFn func() *repro.Heat
 
 	// One registry aggregates the (in-process) server and every client, so
 	// the final dump shows both sides of each protocol action.
@@ -69,6 +74,7 @@ func main() {
 		defer os.RemoveAll(dir)
 		cluster, err := repro.NewCluster(dir, repro.ClusterOptions{
 			Proto: p, Clients: 0, NumPages: *pages, Shards: *shards, Metrics: reg,
+			Heat: *heat,
 		})
 		if err != nil {
 			fatal(err)
@@ -76,6 +82,7 @@ func main() {
 		defer cluster.Close()
 		connect = cluster.AttachClient
 		statsFn = cluster.Server().Stats
+		heatFn = cluster.Server().Heat
 		numPages, objsPerPage, _ = cluster.Server().Geometry()
 		fmt.Printf("oodbbench: in-process server with %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
 			cluster.Server().NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
@@ -191,6 +198,12 @@ func main() {
 		fmt.Printf("server: reads=%d writes=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d deadlocks=%d\n",
 			st.ReadReqs, st.WriteReqs, st.Callbacks, st.BusyReplies,
 			st.Deescalations, st.PageGrants, st.ObjGrants, st.Deadlocks)
+	}
+	if *heat && heatFn != nil {
+		fmt.Println("--- heat summary (top-K hot/contended pages) ---")
+		heatFn().WriteHuman(os.Stdout)
+	} else if *heat {
+		fmt.Fprintln(os.Stderr, "oodbbench: -heat requires the in-process server (no -addr)")
 	}
 	fmt.Println("--- final metrics ---")
 	reg.WriteHuman(os.Stdout)

@@ -27,9 +27,19 @@
 //	                   callback unanswered for this long (0 disables);
 //	                   bounds how long one silent client can stall writers
 //	-admin             serve the observability endpoint on this address
-//	                   (/metrics, /statusz, /trace, /debug/pprof/*)
+//	                   (/metrics, /statusz, /trace, /heatz, /spanz,
+//	                   /debug/pprof/*)
 //	-trace             start with protocol event tracing enabled (the
 //	                   admin endpoint can toggle it at runtime)
+//	-trace-size        trace ring capacity in events (0 = default,
+//	                   honoring OODB_TRACE_SIZE)
+//	-heat              start with heat/contention collection enabled
+//	                   (honoring OODB_HEAT; /heatz can toggle at runtime)
+//	-heat-epoch        heat sketch decay interval
+//	-blackbox-dir      write crash blackboxes (trace ring + heat snapshot
+//	                   + spans + metrics as JSONL) into this directory on
+//	                   panic or fail-stop (empty = disabled)
+//	-blackbox-max      retain at most this many blackbox dumps
 //	-stats-every       print a one-line stats summary at this interval
 //	                   (0 = off)
 //
@@ -51,6 +61,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -75,6 +86,16 @@ func main() {
 	admin := flag.String("admin", "",
 		"observability HTTP address, e.g. :6060 (empty = disabled)")
 	trace := flag.Bool("trace", false, "start with protocol event tracing enabled")
+	traceSize := flag.Int("trace-size", 0,
+		"trace ring capacity in events (0 = default, honoring OODB_TRACE_SIZE)")
+	heat := flag.Bool("heat", false,
+		"start with heat/contention collection enabled (honoring OODB_HEAT)")
+	heatEpoch := flag.Duration("heat-epoch", 0,
+		"heat sketch decay interval (0 = default 10s)")
+	blackboxDir := flag.String("blackbox-dir", "",
+		"write crash blackboxes into this directory on panic or fail-stop (empty = disabled)")
+	blackboxMax := flag.Int("blackbox-max", 0,
+		fmt.Sprintf("retain at most this many blackbox dumps (0 = %d)", obs.DefaultBlackboxMax))
 	statsEvery := flag.Duration("stats-every", 0,
 		"print a one-line stats summary at this interval (0 = off)")
 	flag.Parse()
@@ -87,6 +108,8 @@ func main() {
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
 		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
 		Shards: *shards, RecoveryJobs: *recoveryJobs,
+		TraceBuf: *traceSize, Heat: *heat, HeatEpoch: *heatEpoch,
+		BlackboxDir: *blackboxDir, BlackboxMax: *blackboxMax,
 	})
 	if err != nil {
 		fatal(err)
@@ -94,6 +117,15 @@ func main() {
 	np, opp, osz := srv.Geometry()
 	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each), %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
 		p, *addr, np, opp, osz, srv.NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Printf("oodbserver: telemetry — trace ring %d events, heat=%v", srv.TraceBufSize(), srv.Heat().Enabled())
+	if *blackboxDir != "" {
+		max := *blackboxMax
+		if max <= 0 {
+			max = obs.DefaultBlackboxMax
+		}
+		fmt.Printf(", blackbox %s (max %d dumps)", *blackboxDir, max)
+	}
+	fmt.Println()
 	rs := srv.RecoveryStats()
 	fmt.Printf("oodbserver: recovery replayed %d records (%d skipped under checkpoint watermark) across %d pages (%d skipped) with %d jobs in %.1fms\n",
 		rs.Records, rs.RecordsSkipped, rs.PagesReplayed, rs.PagesSkipped, rs.Jobs,
@@ -106,7 +138,7 @@ func main() {
 			fatal(err)
 		}
 		defer as.Close()
-		fmt.Printf("oodbserver: admin endpoint on http://%s (/metrics /statusz /trace /debug/pprof)\n", as.Addr())
+		fmt.Printf("oodbserver: admin endpoint on http://%s (/metrics /statusz /trace /heatz /spanz /debug/pprof)\n", as.Addr())
 	}
 	if *statsEvery > 0 {
 		stop := make(chan struct{})

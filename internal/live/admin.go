@@ -8,15 +8,21 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // AdminHandler serves the server's observability surface:
 //
-//	/metrics        Prometheus text exposition of the registry
-//	/statusz        one-page human-readable server status
-//	/trace?n=&txn=  last n trace events as JSONL (txn filters)
+//	/metrics              Prometheus text exposition of the registry
+//	/statusz              one-page human-readable server status
+//	/trace?n=&txn=&page=  last n trace events as JSONL (txn/page filter)
 //	/trace/on, /trace/off  switch event tracing at runtime
-//	/debug/pprof/*  the standard Go profiling endpoints
+//	/heatz?format=json    heat snapshot: top-K hot pages/objects, contended
+//	                      pages, false-sharing suspects (human by default)
+//	/heatz/on, /heatz/off  switch heat collection at runtime
+//	/spanz?format=json    commit-stage latency spans with p99 exemplar txns
+//	/debug/pprof/*        the standard Go profiling endpoints
 //
 // The handlers collect metrics without the server lock (the gauges take
 // it themselves), so serving traffic never stalls the data path.
@@ -35,7 +41,13 @@ func AdminHandler(s *Server) http.Handler {
 		fmt.Fprintf(w, "geometry:  %d pages x %d objs x %d B\n", pages, opp, objSize)
 		fmt.Fprintf(w, "shards:    %d engine shards on GOMAXPROCS=%d\n", s.NumShards(), runtime.GOMAXPROCS(0))
 		fmt.Fprintf(w, "sessions:  %d\n", s.Sessions())
-		fmt.Fprintf(w, "tracing:   enabled=%v dropped=%d\n\n", s.tracer.Enabled(), s.tracer.Dropped())
+		fmt.Fprintf(w, "tracing:   enabled=%v dropped=%d ring=%d\n", s.tracer.Enabled(), s.tracer.Dropped(), s.TraceBufSize())
+		fmt.Fprintf(w, "heat:      enabled=%v epochs=%d dropped=%d\n", s.heat.Enabled(), s.heat.Epochs(), s.heat.Dropped())
+		if s.flight != nil {
+			fmt.Fprintf(w, "blackbox:  %s\n", s.flight.Dir())
+		}
+		fmt.Fprintf(w, "endpoints: /metrics | /statusz | /trace?n=<count>&txn=<id>&page=<id> (+/trace/on,/trace/off)\n")
+		fmt.Fprintf(w, "           /heatz?format=json (+/heatz/on,/heatz/off) | /spanz?format=json | /debug/pprof/*\n\n")
 		fmt.Fprintf(w, "engine: reads=%d writes=%d commits=%d aborts=%d blocks=%d deadlocks=%d\n",
 			st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Blocks, st.Deadlocks)
 		fmt.Fprintf(w, "        rounds=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d\n\n",
@@ -51,8 +63,20 @@ func AdminHandler(s *Server) http.Handler {
 		if v := r.URL.Query().Get("txn"); v != "" {
 			txn, _ = strconv.ParseInt(v, 10, 64)
 		}
+		hasPage := false
+		var page int64
+		if v := r.URL.Query().Get("page"); v != "" {
+			page, _ = strconv.ParseInt(v, 10, 32)
+			hasPage = true
+		}
+		var filter func(*obs.Event) bool
+		if txn != 0 || hasPage {
+			filter = func(e *obs.Event) bool {
+				return (txn == 0 || e.Txn == txn) && (!hasPage || e.Page == int32(page))
+			}
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		s.tracer.WriteJSONL(w, n, txn)
+		s.tracer.WriteJSONLFiltered(w, n, filter)
 	})
 	mux.HandleFunc("/trace/on", func(w http.ResponseWriter, r *http.Request) {
 		s.tracer.SetEnabled(true)
@@ -61,6 +85,32 @@ func AdminHandler(s *Server) http.Handler {
 	mux.HandleFunc("/trace/off", func(w http.ResponseWriter, r *http.Request) {
 		s.tracer.SetEnabled(false)
 		fmt.Fprintln(w, "tracing off")
+	})
+	mux.HandleFunc("/heatz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			s.heat.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.heat.WriteHuman(w)
+	})
+	mux.HandleFunc("/heatz/on", func(w http.ResponseWriter, r *http.Request) {
+		s.heat.SetEnabled(true)
+		fmt.Fprintln(w, "heat collection on")
+	})
+	mux.HandleFunc("/heatz/off", func(w http.ResponseWriter, r *http.Request) {
+		s.heat.SetEnabled(false)
+		fmt.Fprintln(w, "heat collection off")
+	})
+	mux.HandleFunc("/spanz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			s.spans.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.spans.WriteHuman(w)
 	})
 	// pprof on a private mux: registering on http.DefaultServeMux would
 	// leak the profiler onto any other server in the process.

@@ -13,7 +13,43 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// BenchmarkHeatDisabled measures the cost a disabled heat collector adds
+// to every traced access: it must stay a nil-check plus one atomic load
+// (same discipline as the disabled tracer), since the live server calls
+// RecordAccess on every engine lock request.
+func BenchmarkHeatDisabled(b *testing.B) {
+	h := obs.NewHeat(obs.HeatOptions{})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int32(0)
+		for pb.Next() {
+			h.RecordAccess(1, i&1023, i%20, i&3 == 0)
+			i++
+		}
+	})
+}
+
+// BenchmarkHeatEnabled measures the enabled recording path (shard hash,
+// TryLock, sketch update) under parallel load — the cost an operator buys
+// by turning /heatz on.
+func BenchmarkHeatEnabled(b *testing.B) {
+	h := obs.NewHeat(obs.HeatOptions{})
+	h.SetEnabled(true)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int32(0)
+		for pb.Next() {
+			h.RecordAccess(1, i&1023, i%20, i&3 == 0)
+			i++
+		}
+	})
+	if h.Dropped() == int64(b.N) {
+		b.Fatal("every sample dropped; benchmark measured nothing")
+	}
+}
 
 // startTCPServer opens a server on a loopback listener and returns it with
 // its dial address.

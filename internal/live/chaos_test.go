@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -378,9 +379,11 @@ func TestChaosSoakLive(t *testing.T) {
 		hotSlots = 2
 	)
 	dir := t.TempDir()
-	srv, err := OpenServer(dir, ServerOptions{
+	srv, err := OpenServer(filepath.Join(dir, "db"), ServerOptions{
 		Proto: core.PSAA, PageSize: 256, ObjsPerPage: 4, NumPages: 32,
 		CallbackTimeout: 200 * time.Millisecond,
+		Heat:            true, // races heat recording against real chaos traffic
+		BlackboxDir:     filepath.Join(dir, "blackbox"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -572,8 +575,18 @@ func TestChaosSoakLive(t *testing.T) {
 		}
 	}
 	tx.Commit()
+	if t.Failed() {
+		// Audit failure: persist the full post-mortem (trace ring, heat
+		// snapshot, spans, metrics) as a blackbox for offline analysis.
+		if path, err := srv.FlightDump("chaos audit failure"); err == nil && path != "" {
+			t.Logf("flight recorder blackbox: %s", path)
+		}
+	}
 	if totalAcked == 0 {
 		t.Fatal("chaos soak committed nothing; faults too aggressive to be a meaningful test")
+	}
+	if sn := srv.Heat().Snapshot(); sn.Reads+sn.Writes == 0 {
+		t.Error("heat collector idle across the whole chaos soak")
 	}
 	t.Logf("chaos soak: %d acked increments, %d unknown-outcome commits", totalAcked, func() (u uint64) {
 		for _, v := range unknown {

@@ -188,7 +188,12 @@ func (s *Server) registerServerGauges(reg *obs.Registry) {
 // owner step, or a dedup'd disconnect abort) may fire on another.
 func (s *Server) onEngineTrace(sh *engineShard, kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
 	switch kind {
+	case obs.EvLockReq:
+		// Heat sample: every read/write request that reached the engine,
+		// by object. Disabled, this is one atomic load.
+		s.heat.RecordAccess(int32(client), int32(obj.Page), int32(obj.Slot), extra == 1)
 	case obs.EvBlock:
+		s.heat.RecordBlock(int32(obj.Page))
 		s.bsMu.Lock()
 		if _, ok := s.blockStart[txn]; !ok {
 			s.blockStart[txn] = time.Now()
@@ -232,6 +237,17 @@ func (s *Server) onEngineTrace(sh *engineShard, kind obs.EventKind, txn core.Txn
 		s.bsMu.Unlock()
 	}
 	s.tracer.Emit(kind, int64(txn), int32(client), int32(obj.Page), int32(obj.Slot), extra)
+}
+
+// observeStage records one commit-stage latency into the stage histograms
+// (with the txn as bucket exemplar) and, when tracing, into the per-txn
+// trace (Slot carries the stage index, Extra the duration in ns) — so a
+// p99 bucket's exemplar links to /trace?txn= and the trace shows where
+// that transaction's time went.
+func (s *Server) observeStage(st obs.CommitStage, txn core.TxnID, client core.ClientID, d time.Duration) {
+	ns := d.Nanoseconds()
+	s.spans.Observe(st, ns, int64(txn))
+	s.tracer.Emit(obs.EvCommitStage, int64(txn), int32(client), 0, int32(st), ns)
 }
 
 // clientMetrics holds a live client's instrument handles. A nil

@@ -83,9 +83,27 @@ type ServerOptions struct {
 	// server and clients in one registry). Nil: the server makes its own,
 	// reachable via Server.Metrics().
 	Metrics *obs.Registry
-	// TraceBuf sizes the event-trace ring (obs.DefaultTraceBuf if 0).
-	// Tracing starts disabled; switch it on via Server.Tracer().
+	// TraceBuf sizes the event-trace ring (obs.DefaultTraceBuf if 0,
+	// honoring the OODB_TRACE_SIZE environment variable first). Tracing
+	// starts disabled; switch it on via Server.Tracer().
 	TraceBuf int
+	// Heat starts the access-heat/contention collector enabled (it can
+	// also be switched at runtime via Server.Heat() or the admin
+	// /heatz/on|/heatz/off endpoints). False honors OODB_HEAT=1. Disabled,
+	// the collector costs one atomic load per engine event.
+	Heat bool
+	// HeatEpoch is the heat collector's rotation period (sketch decay +
+	// false-sharing score fold); default 10s.
+	HeatEpoch time.Duration
+	// HeatTopK sizes the heat sketches (obs.HeatOptions.TopK; default 32).
+	HeatTopK int
+	// BlackboxDir, when set, enables the flight recorder: on a serve-path
+	// panic or an injected fail-stop the server dumps its trace ring, heat
+	// snapshot, commit-stage spans, and metrics to a timestamped JSONL
+	// file in this directory (see obs.FlightRecorder).
+	BlackboxDir string
+	// BlackboxMax bounds retained blackbox dumps (default 8).
+	BlackboxMax int
 }
 
 // objectStore abstracts the fixed-slot Store and the variable-size VStore.
@@ -154,6 +172,21 @@ func (o *ServerOptions) defaults() {
 	if o.RecoveryJobs < 1 {
 		o.RecoveryJobs = 1
 	}
+	if o.TraceBuf == 0 {
+		if v := os.Getenv("OODB_TRACE_SIZE"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				o.TraceBuf = n
+			}
+		}
+	}
+	if !o.Heat {
+		if v := os.Getenv("OODB_HEAT"); v == "1" || v == "true" {
+			o.Heat = true
+		}
+	}
+	if o.HeatEpoch <= 0 {
+		o.HeatEpoch = 10 * time.Second
+	}
 }
 
 // engineShard is one slice of the partitioned engine: a full protocol
@@ -181,6 +214,9 @@ type Server struct {
 	registry *obs.Registry
 	metrics  *serverMetrics
 	tracer   *obs.Tracer
+	heat     *obs.Heat
+	spans    *obs.Spans
+	flight   *obs.FlightRecorder // nil unless BlackboxDir is set
 
 	// shards partitions the engine by page hash; shardMask is
 	// len(shards)-1 (power of two). With one shard the system behaves
@@ -233,6 +269,10 @@ type Server struct {
 	// Callback-deadline watchdog (nil when CallbackTimeout == 0).
 	watchStop chan struct{}
 	watchDone chan struct{}
+
+	// Heat-epoch rotation ticker.
+	heatStop chan struct{}
+	heatDone chan struct{}
 
 	// Cross-shard deadlock detector (nil when len(shards) == 1; local
 	// per-shard detection is complete then). See deadlock.go.
@@ -502,11 +542,16 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		registry:   reg,
 		metrics:    newServerMetrics(reg),
 		tracer:     obs.NewTracer(opts.TraceBuf),
+		heat:       obs.NewHeat(obs.HeatOptions{TopK: opts.HeatTopK}),
+		spans:      obs.NewSpans(reg),
+		flight:     obs.NewFlightRecorder(opts.BlackboxDir, opts.BlackboxMax),
 		store:      store,
 		wal:        wal,
 		recovery:   recov,
 		blockStart: make(map[core.TxnID]time.Time),
 	}
+	s.heat.SetEnabled(opts.Heat)
+	s.heat.RegisterMetrics(reg)
 	s.metrics.recoveryPagesReplayed.Add(int64(recov.PagesReplayed))
 	s.metrics.recoveryPagesSkipped.Add(int64(recov.PagesSkipped))
 	s.metrics.recoveryDurationNs.Add(recov.DurationNs)
@@ -544,6 +589,9 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		s.watchDone = make(chan struct{})
 		go s.watchdog()
 	}
+	s.heatStop = make(chan struct{})
+	s.heatDone = make(chan struct{})
+	go s.heatLoop()
 	if nsh > 1 {
 		s.dlPoke = make(chan struct{}, 1)
 		s.dlStop = make(chan struct{})
@@ -584,6 +632,37 @@ func (s *Server) watchdog() {
 			s.metrics.leaseExpiries.Inc()
 			s.tracer.Emit(obs.EvLeaseExpiry, 0, int32(id), 0, 0, 0)
 			s.detach(id)
+		}
+	}
+}
+
+// heatLoop rotates the heat collector's epoch on a fixed period so
+// sketches decay and false-sharing scores fold while the collector is on.
+// Rotation on a disabled (empty) collector is a few empty-map walks.
+func (s *Server) heatLoop() {
+	defer close(s.heatDone)
+	tick := time.NewTicker(s.opts.HeatEpoch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.heatStop:
+			return
+		case <-tick.C:
+		}
+		if s.closedFlag.Load() {
+			return
+		}
+		s.heat.Rotate()
+	}
+}
+
+// stopHeatLocked signals the heat rotation loop; the caller holds s.mu.
+func (s *Server) stopHeatLocked() {
+	if s.heatStop != nil {
+		select {
+		case <-s.heatStop:
+		default:
+			close(s.heatStop)
 		}
 	}
 }
@@ -641,6 +720,29 @@ func (s *Server) Metrics() *obs.Registry { return s.registry }
 
 // Tracer returns the server's event tracer (disabled until SetEnabled).
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceBufSize returns the trace ring's configured capacity.
+func (s *Server) TraceBufSize() int {
+	if s.opts.TraceBuf > 0 {
+		return s.opts.TraceBuf
+	}
+	return obs.DefaultTraceBuf
+}
+
+// Heat returns the server's access-heat collector (disabled until
+// SetEnabled or ServerOptions.Heat/OODB_HEAT).
+func (s *Server) Heat() *obs.Heat { return s.heat }
+
+// Spans returns the commit-stage span recorder.
+func (s *Server) Spans() *obs.Spans { return s.spans }
+
+// FlightDump writes a blackbox dump (trace ring + heat snapshot + spans +
+// metrics) with the given reason and returns its path. A no-op returning
+// "" when no BlackboxDir is configured. Use it from audit failures; the
+// server triggers it itself on serve-path panics and injected fail-stops.
+func (s *Server) FlightDump(reason string) (string, error) {
+	return s.flight.Dump(reason, s.tracer, s.heat, s.spans, s.registry)
+}
 
 // Attach registers a new client session over conn and starts serving it.
 // It returns the client id assigned to the session.
@@ -735,6 +837,17 @@ func (s *Server) detach(id core.ClientID) {
 // serve pumps one session's incoming messages through the engine.
 func (s *Server) serve(sess *session) {
 	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// A serve-path panic is a server bug and the process is going
+			// down: write the blackbox first. Poisoning closedFlag makes
+			// the registry's shard-summing gauges short-circuit, so the
+			// dump cannot deadlock on a lock this goroutine may hold.
+			s.closedFlag.Store(true)
+			s.flight.Dump(fmt.Sprintf("panic: %v", r), s.tracer, s.heat, s.spans, s.registry)
+			panic(r)
+		}
+	}()
 	for {
 		m, err := sess.conn.Recv()
 		if err != nil {
@@ -742,7 +855,7 @@ func (s *Server) serve(sess *session) {
 			return
 		}
 		m.From = sess.id
-		s.handle(sess, m)
+		s.handle(sess, m, time.Now())
 	}
 }
 
@@ -772,8 +885,9 @@ func (s *Server) unlockShard(sh *engineShard, acquired time.Time) {
 // handle runs one message through the engine shard(s) that own it and
 // dispatches the responses. Everything that does not need engine state —
 // WAL body encoding, the commit fsync wait, store payload reads —
-// happens outside the shard locks.
-func (s *Server) handle(sess *session, m *core.Msg) {
+// happens outside the shard locks. recvAt is when serve read the message
+// off the transport (the commit-stage queue span starts there).
+func (s *Server) handle(sess *session, m *core.Msg, recvAt time.Time) {
 	kind := int(m.Kind)
 	if kind < len(msgKindLabels) {
 		s.metrics.reqs[kind].Inc()
@@ -803,17 +917,21 @@ func (s *Server) handle(sess *session, m *core.Msg) {
 	// expensive half of an append.
 	var rec *walRecord
 	var frame []byte
+	var queueDur, encodeDur time.Duration
 	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
+		encStart := time.Now()
+		queueDur = encStart.Sub(recvAt)
 		rec = &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
 		for _, o := range sortedUpdateKeys(m.Updates) {
 			rec.Objs = append(rec.Objs, o)
 			rec.Images = append(rec.Images, m.Updates[o])
 		}
 		frame = encodeWALFrame(rec)
+		encodeDur = time.Since(encStart)
 	}
 
 	if m.Kind == core.MCommitReq || m.Kind == core.MAbortReq {
-		s.finishTxnMsg(sess, m, rec, frame)
+		syncWait = s.finishTxnMsg(sess, m, rec, frame, queueDur, encodeDur)
 		return
 	}
 
@@ -911,18 +1029,23 @@ func (s *Server) engineStep(sess *session, sh *engineShard, m *core.Msg) {
 //     flush-then-truncate (exclusive) cannot interleave with an
 //     append/install pair: a WAL record is only ever truncated after a
 //     store flush that covers its installs.
-func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame []byte) {
+// It returns the group-commit durability wait so handle can keep the
+// commit's handleNs honest (processing time, not fsync scheduling).
+func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame []byte, queueDur, encodeDur time.Duration) (syncWait time.Duration) {
 	mask := s.txnMask(sess, m)
 
 	if frame != nil {
+		s.observeStage(obs.StageQueue, m.Txn, m.From, queueDur)
+		s.observeStage(obs.StageEncode, m.Txn, m.From, encodeDur)
 		ticket, gen, ok := s.appendAndInstall(sess, mask, rec, frame)
 		if !ok {
 			return
 		}
 		syncStart := time.Now()
 		err := s.wal.WaitDurable(ticket, gen)
-		syncWait := time.Since(syncStart)
+		syncWait = time.Since(syncStart)
 		s.metrics.commitSyncWaitNs.Observe(syncWait.Nanoseconds())
+		s.observeStage(obs.StageSyncWait, m.Txn, m.From, syncWait)
 		if err != nil {
 			if fault.IsCrash(err) || errors.Is(err, errWALCrashed) {
 				// Injected fail-stop: die before acking the undurable
@@ -939,14 +1062,19 @@ func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame 
 		}
 	}
 
+	ackStart := time.Now()
 	if bits.OnesCount64(mask) == 1 {
 		// Single-shard finish (the overwhelming common case, and the
 		// only case with one shard): the full engine dispatch on the
 		// owning shard — identical to the unsharded path.
 		s.engineStep(sess, s.shards[bits.TrailingZeros64(mask)], m)
-		return
+	} else {
+		s.multiShardFinish(sess, m, mask)
 	}
-	s.multiShardFinish(sess, m, mask)
+	if frame != nil {
+		s.observeStage(obs.StageAck, m.Txn, m.From, time.Since(ackStart))
+	}
+	return
 }
 
 // txnMask computes the set of shards a commit/abort must visit, as a
@@ -1002,6 +1130,7 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 		sh *engineShard
 		at time.Time
 	}
+	lockStart := time.Now()
 	var held []heldShard
 	for rest := mask; rest != 0; rest &= rest - 1 {
 		sh := s.shards[bits.TrailingZeros64(rest)]
@@ -1023,6 +1152,8 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 	}
 
 	s.installMu.RLock()
+	locked := time.Now()
+	s.observeStage(obs.StageLockWait, rec.Txn, rec.Client, locked.Sub(lockStart))
 	ticket, gen, err := s.wal.appendFrame(frame)
 	if err != nil {
 		s.installMu.RUnlock()
@@ -1033,6 +1164,8 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 		}
 		panic(fmt.Sprintf("live: WAL append failed: %v", err))
 	}
+	appended := time.Now()
+	s.observeStage(obs.StageAppend, rec.Txn, rec.Client, appended.Sub(locked))
 	for i, o := range rec.Objs {
 		if err := s.store.WriteObj(o, rec.Images[i]); err != nil {
 			if s.closedFlag.Load() {
@@ -1045,6 +1178,7 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 			panic(fmt.Sprintf("live: commit install failed: %v", err))
 		}
 	}
+	s.observeStage(obs.StageInstall, rec.Txn, rec.Client, time.Since(appended))
 	s.installMu.RUnlock()
 	unlockAll()
 	return ticket, gen, true
@@ -1445,6 +1579,7 @@ func (s *Server) crashLocked(cause error) {
 	s.failed = cause
 	s.stopWatchdogLocked()
 	s.stopDetectorLocked()
+	s.stopHeatLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -1456,6 +1591,10 @@ func (s *Server) crashLocked(cause error) {
 	s.sessions.Store(&empty)
 	s.wal.crash()
 	s.store.closeRaw()
+	// Blackbox last, with closedFlag set: the shard-summing gauges
+	// short-circuit to 0, so the dump reads only atomics and the trace
+	// ring and cannot deadlock on engine state the crash interrupted.
+	s.flight.Dump("fail-stop: "+cause.Error(), s.tracer, s.heat, s.spans, s.registry)
 }
 
 // Crash simulates fail-stop process death (for tests and the recovery
@@ -1473,6 +1612,9 @@ func (s *Server) Crash() error {
 	}
 	if s.dlDone != nil {
 		<-s.dlDone
+	}
+	if s.heatDone != nil {
+		<-s.heatDone
 	}
 	return failed
 }
@@ -1496,6 +1638,7 @@ func (s *Server) Close() error {
 	s.closedFlag.Store(true)
 	s.stopWatchdogLocked()
 	s.stopDetectorLocked()
+	s.stopHeatLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -1513,6 +1656,9 @@ func (s *Server) Close() error {
 	}
 	if s.dlDone != nil {
 		<-s.dlDone
+	}
+	if s.heatDone != nil {
+		<-s.heatDone
 	}
 
 	s.mu.Lock()

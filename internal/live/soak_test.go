@@ -23,10 +23,11 @@ func TestRandomizedSoak(t *testing.T) {
 		t.Run(proto.String(), func(t *testing.T) {
 			srv, _ := testServer(t, proto)
 			defer srv.Close()
-			// Soak with tracing on: the ring gives a protocol-level
-			// post-mortem when the audit finds a lost update, and doubles
-			// as a race test of the tracer against real traffic.
+			// Soak with tracing and heat collection on: the ring gives a
+			// protocol-level post-mortem when the audit finds a lost
+			// update, and both double as race tests against real traffic.
 			srv.Tracer().SetEnabled(true)
+			srv.Heat().SetEnabled(true)
 
 			const (
 				clients  = 5
@@ -120,6 +121,9 @@ func TestRandomizedSoak(t *testing.T) {
 				}
 			}
 			tx.Commit()
+			if sn := srv.Heat().Snapshot(); sn.Reads+sn.Writes == 0 {
+				t.Error("heat collector idle across the soak")
+			}
 		})
 	}
 }

@@ -6,6 +6,7 @@ package model
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -64,6 +65,18 @@ type Config struct {
 	// the system drains; tests then assert the server quiesced (no locks,
 	// rounds, queues, or transactions left behind).
 	TxnLimit int
+
+	// Metrics, when set, receives the engine's oodb_engine_* counters —
+	// the same names the live server publishes, so one dashboard reads
+	// both systems.
+	Metrics *obs.Registry
+
+	// Heat, when set (and enabled), samples the simulated server's access
+	// stream: every read/write request reaching the engine and every lock
+	// conflict feed the collector exactly as the live server's trace hook
+	// does. Rotation is deterministic: once when measurement starts and
+	// once at the end of the run.
+	Heat *obs.Heat
 }
 
 // DefaultConfig returns the Table 1 settings with the given protocol and

@@ -1,0 +1,114 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// smallPrivate shrinks the PRIVATE-family workloads for tests while
+// keeping the structural invariant (per-client 25-page hot regions in the
+// first half of the database).
+func smallPrivate(kind workload.Kind, writeProb float64) workload.Spec {
+	var w workload.Spec
+	if kind == workload.InterleavedPrivate {
+		w = workload.InterleavedPrivateSpec(writeProb)
+	} else {
+		w = workload.PrivateSpec(workload.HighLocality, writeProb)
+	}
+	w.NumClients = 4
+	w.DBPages = 250
+	return w
+}
+
+// runWithHeat runs one short simulation with a heat collector attached and
+// returns the final snapshot.
+func runWithHeat(t *testing.T, w workload.Spec) *obs.HeatSnapshot {
+	t.Helper()
+	heat := obs.NewHeat(obs.HeatOptions{TopK: 32})
+	heat.SetEnabled(true)
+	cfg := shortConfig(core.PSAA, w)
+	cfg.Heat = heat
+	cfg.Metrics = obs.NewRegistry()
+	res := Run(cfg)
+	if res.Commits == 0 {
+		t.Fatalf("no commits for %v", w.Kind)
+	}
+	sn := heat.Snapshot()
+	if sn.Reads+sn.Writes == 0 {
+		t.Fatal("heat collector saw no accesses")
+	}
+	return sn
+}
+
+// TestFalseSharingDetectorPairedWorkloads is the acceptance pairing: the
+// Interleaved PRIVATE workload (client pairs updating disjoint objects
+// co-resident on shared pages — the paper's Section 5.5 pathology) must
+// raise false-sharing scores past the suspect threshold, while plain
+// PRIVATE (each hot page has exactly one writer) must stay clean.
+func TestFalseSharingDetectorPairedWorkloads(t *testing.T) {
+	interleaved := runWithHeat(t, smallPrivate(workload.InterleavedPrivate, 0.2))
+	private := runWithHeat(t, smallPrivate(workload.Private, 0.2))
+
+	sus := interleaved.Suspects()
+	if len(sus) == 0 {
+		t.Fatalf("interleaved PRIVATE produced no false-sharing suspects (fs=%+v)", interleaved.FalseSharing)
+	}
+	// Interleaved hot pages live in the first half of the database and
+	// carry exactly two writers (a client pair). Every suspect must look
+	// like that, and the scores must clear the threshold.
+	half := int32(250 / 2)
+	for _, s := range sus {
+		if s.Score < interleaved.Threshold {
+			t.Errorf("suspect page %d score %.2f below threshold %.2f", s.Page, s.Score, interleaved.Threshold)
+		}
+		if s.Page >= half {
+			t.Errorf("suspect page %d outside the private region", s.Page)
+		}
+		if s.Writers != 2 {
+			t.Errorf("suspect page %d has %d writers, want the client pair", s.Page, s.Writers)
+		}
+	}
+	// The pathology is region-wide, not a single unlucky page.
+	if len(sus) < 5 {
+		t.Errorf("only %d suspects; interleaving should implicate much of the hot region", len(sus))
+	}
+
+	if got := private.Suspects(); len(got) != 0 {
+		t.Fatalf("plain PRIVATE flagged false sharing: %+v", got)
+	}
+	// Plain PRIVATE pages have a single writer each, so no page should
+	// even carry a score.
+	for _, fs := range private.FalseSharing {
+		if fs.Score > 0 {
+			t.Errorf("page %d scored %.2f under plain PRIVATE", fs.Page, fs.Score)
+		}
+	}
+}
+
+// TestHeatMetricsThroughSim checks the sim publishes the same
+// oodb_heat_* families as the live server, with plausible values.
+func TestHeatMetricsThroughSim(t *testing.T) {
+	heat := obs.NewHeat(obs.HeatOptions{})
+	heat.SetEnabled(true)
+	reg := obs.NewRegistry()
+	cfg := shortConfig(core.PS, smallHotCold(0.2))
+	cfg.Heat = heat
+	cfg.Metrics = reg
+	Run(cfg)
+	reads := reg.CounterValue(`oodb_heat_accesses_total{op="read"}`)
+	writes := reg.CounterValue(`oodb_heat_accesses_total{op="write"}`)
+	if reads == 0 || writes == 0 {
+		t.Fatalf("heat counters empty: reads=%d writes=%d", reads, writes)
+	}
+	// Deterministic rotation: once at measurement start, once at finish.
+	if got := reg.CounterValue("oodb_heat_epochs_total"); got != 2 {
+		t.Fatalf("epochs = %d, want 2", got)
+	}
+	// The engine counters share the registry (one dashboard, two systems).
+	if reg.CounterValue("oodb_engine_commits_total") == 0 {
+		t.Fatal("engine metrics absent from shared registry")
+	}
+}

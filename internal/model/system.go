@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -111,6 +112,25 @@ func build(cfg Config) *system {
 		disks: disks,
 		buf:   newServerBuf(eng, scpu, disks, serverRng, cfg.ServerBufPages, cfg.DiskOverheadInst),
 	}
+	if cfg.Metrics != nil {
+		sys.server.eng.RegisterMetrics(cfg.Metrics)
+		if cfg.Heat != nil {
+			cfg.Heat.RegisterMetrics(cfg.Metrics)
+		}
+	}
+	if heat := cfg.Heat; heat != nil {
+		// Feed the collector from the engine's trace hook with the same
+		// event mapping the live server uses (metrics.go onEngineTrace):
+		// lock requests are accesses, blocks are contention.
+		sys.server.eng.Trace = func(kind obs.EventKind, txn core.TxnID, client core.ClientID, obj core.ObjID, extra int64) {
+			switch kind {
+			case obs.EvLockReq:
+				heat.RecordAccess(int32(client), int32(obj.Page), int32(obj.Slot), extra == 1)
+			case obs.EvBlock:
+				heat.RecordBlock(int32(obj.Page))
+			}
+		}
+	}
 	sys.client = make([]*client, cfg.NumClients)
 	for i := 0; i < cfg.NumClients; i++ {
 		id := core.ClientID(i + 1)
@@ -132,6 +152,9 @@ func build(cfg Config) *system {
 func (sys *system) startMeasurement() {
 	sys.measuring = true
 	sys.batchLen = sys.cfg.Measure / float64(sys.cfg.Batches)
+	// Close the warmup heat epoch so measured traffic dominates the
+	// decayed sketches and false-sharing scores.
+	sys.cfg.Heat.Rotate()
 }
 
 func (sys *system) flushBatch() {
@@ -173,6 +196,9 @@ func (sys *system) recordMsg(m *core.Msg, size int) {
 }
 
 func (sys *system) finish() {
+	// Fold the measured epoch's false-sharing evidence into the decayed
+	// scores before results are read.
+	sys.cfg.Heat.Rotate()
 	r := sys.res
 	// Close out every remaining batch (empty ones included).
 	for sys.curBatch < sys.cfg.Batches-1 {

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderDump(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, 4)
+
+	tr := NewTracer(16)
+	tr.SetEnabled(true)
+	tr.Emit(EvCommit, 7, 1, 3, 0, 0)
+	heat := NewHeat(HeatOptions{})
+	heat.SetEnabled(true)
+	heat.RecordAccess(1, 3, 0, true)
+	sp := NewSpans(nil)
+	sp.Observe(StageAck, 55, 7)
+	reg := NewRegistry()
+	reg.Counter("bb_total", "test").Add(9)
+
+	path, err := f.Dump("test reason: injected", tr, heat, sp, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump landed in %s", path)
+	}
+
+	// Every line must parse; the four sections plus header must appear.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	var header struct {
+		Type   string `json:"type"`
+		Format int    `json:"format"`
+		Reason string `json:"reason"`
+		UnixNs int64  `json:"unix_ns"`
+	}
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("unparseable line %q: %v", sc.Text(), err)
+		}
+		typ, _ := line["type"].(string)
+		if types[typ]++; typ == "header" {
+			if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, want := range []string{"header", "trace", "heat", "spans", "metrics"} {
+		if types[want] == 0 {
+			t.Errorf("blackbox missing %q section (got %v)", want, types)
+		}
+	}
+	if header.Format != 1 || header.Reason != "test reason: injected" || header.UnixNs == 0 {
+		t.Fatalf("header = %+v", header)
+	}
+	if !strings.Contains(string(data), "bb_total 9") {
+		t.Error("metrics section lost the exposition text")
+	}
+
+	// No tmp files left behind.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("tmp files left: %v", tmps)
+	}
+}
+
+func TestFlightRecorderNilSectionsAndNilRecorder(t *testing.T) {
+	var f *FlightRecorder
+	if path, err := f.Dump("x", nil, nil, nil, nil); err != nil || path != "" {
+		t.Fatalf("nil recorder dump = %q, %v", path, err)
+	}
+	if f.Dir() != "" {
+		t.Fatal("nil Dir")
+	}
+	if NewFlightRecorder("", 3) != nil {
+		t.Fatal("empty dir must return nil recorder")
+	}
+
+	dir := t.TempDir()
+	fr := NewFlightRecorder(dir, 2)
+	path, err := fr.Dump("all sections nil", nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want header-only dump, got %d lines", len(lines))
+	}
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderPrune(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(dir, 3)
+	var last string
+	for i := 0; i < 7; i++ {
+		p, err := f.Dump("prune test", nil, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = p
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "blackbox-*.jsonl"))
+	if len(matches) != 3 {
+		t.Fatalf("retained %d dumps, want 3: %v", len(matches), matches)
+	}
+	// The newest dump survives pruning.
+	found := false
+	for _, m := range matches {
+		if m == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("newest dump %s was pruned; kept %v", last, matches)
+	}
+}

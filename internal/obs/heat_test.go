@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHeatDisabledRecordsNothing(t *testing.T) {
+	h := NewHeat(HeatOptions{})
+	h.RecordAccess(1, 10, 2, true)
+	h.RecordBlock(10)
+	sn := h.Snapshot()
+	if sn.Reads+sn.Writes+sn.Blocks != 0 || len(sn.TopPages) != 0 {
+		t.Fatalf("disabled collector recorded samples: %+v", sn)
+	}
+	var nilHeat *Heat
+	nilHeat.RecordAccess(1, 10, 2, true) // nil-safe
+	nilHeat.Rotate()
+	if s := nilHeat.Snapshot(); s == nil || s.Enabled {
+		t.Fatal("nil snapshot")
+	}
+}
+
+func TestHeatTopKOrdering(t *testing.T) {
+	h := NewHeat(HeatOptions{TopK: 4})
+	h.SetEnabled(true)
+	// Page 7 hottest, page 3 second, read/write split preserved.
+	for i := 0; i < 100; i++ {
+		h.RecordAccess(1, 7, int32(i%8), i%2 == 0)
+	}
+	for i := 0; i < 50; i++ {
+		h.RecordAccess(1, 3, 0, false)
+	}
+	h.RecordAccess(1, 9, 1, true)
+	sn := h.Snapshot()
+	if len(sn.TopPages) == 0 || sn.TopPages[0].Page != 7 {
+		t.Fatalf("top page = %+v, want page 7 first", sn.TopPages)
+	}
+	if sn.TopPages[0].Reads != 50 || sn.TopPages[0].Writes != 50 {
+		t.Fatalf("page 7 split = %d/%d, want 50/50", sn.TopPages[0].Reads, sn.TopPages[0].Writes)
+	}
+	if sn.TopPages[1].Page != 3 || sn.TopPages[1].Reads != 50 || sn.TopPages[1].Writes != 0 {
+		t.Fatalf("second page = %+v, want page 3 reads=50", sn.TopPages[1])
+	}
+	if sn.Reads != 100 || sn.Writes != 51 {
+		t.Fatalf("totals = %d/%d", sn.Reads, sn.Writes)
+	}
+}
+
+func TestSketchEvictionBound(t *testing.T) {
+	s := newSketch(4)
+	// Heavy hitter plus a stream of singletons churning the other slots.
+	for i := 0; i < 100; i++ {
+		s.observe(42, true)
+		s.observe(int64(1000+i), false)
+	}
+	e, ok := s.idx[42]
+	if !ok {
+		t.Fatal("heavy hitter evicted")
+	}
+	ent := &s.ents[e]
+	if ent.writes != 100 {
+		t.Fatalf("heavy hitter writes = %d (err %d), want 100 exact", ent.writes, ent.errc)
+	}
+	// Space-saving invariant: estimated count never below the true count.
+	if ent.total() < 100 {
+		t.Fatalf("estimate %d below true count", ent.total())
+	}
+	if len(s.ents) != 4 || len(s.idx) != 4 {
+		t.Fatalf("capacity violated: %d entries, %d index", len(s.ents), len(s.idx))
+	}
+}
+
+func TestHeatEpochDecay(t *testing.T) {
+	h := NewHeat(HeatOptions{TopK: 8})
+	h.SetEnabled(true)
+	for i := 0; i < 64; i++ {
+		h.RecordAccess(1, 5, 0, false)
+	}
+	for rot := 0; rot < 6; rot++ {
+		h.Rotate()
+	}
+	// 64 halved six times = 1; entry still tracked.
+	sn := h.Snapshot()
+	if len(sn.TopPages) != 1 || sn.TopPages[0].Count != 1 {
+		t.Fatalf("after 6 decays: %+v", sn.TopPages)
+	}
+	h.Rotate()
+	if sn := h.Snapshot(); len(sn.TopPages) != 0 {
+		t.Fatalf("entry not evicted at zero: %+v", sn.TopPages)
+	}
+	if h.Epochs() != 7 {
+		t.Fatalf("epochs = %d", h.Epochs())
+	}
+}
+
+func TestFalseSharingScoring(t *testing.T) {
+	h := NewHeat(HeatOptions{})
+	h.SetEnabled(true)
+	// Page 10: clients 1 and 2 write disjoint slots — pure false sharing.
+	// Page 20: clients 1 and 2 both write slot 0 — true sharing.
+	// Page 30: only client 1 writes — no evidence.
+	for i := 0; i < 10; i++ {
+		h.RecordAccess(1, 10, 0, true)
+		h.RecordAccess(2, 10, 1, true)
+		h.RecordAccess(1, 20, 0, true)
+		h.RecordAccess(2, 20, 0, true)
+		h.RecordAccess(1, 30, int32(i%4), true)
+	}
+
+	// The live (pre-rotation) epoch already scores.
+	sn := h.Snapshot()
+	if got := sn.Score(10); got != 1.0 {
+		t.Fatalf("live epoch score(10) = %v, want 1.0", got)
+	}
+	if got := sn.Score(20); got != 0 {
+		t.Fatalf("live epoch score(20) = %v, want 0", got)
+	}
+
+	h.Rotate() // decayed = 0/2 + 1.0/2 = 0.5
+	sn = h.Snapshot()
+	if got := sn.Score(10); got != 0.5 {
+		t.Fatalf("decayed score(10) = %v, want 0.5", got)
+	}
+	if got := sn.Score(30); got != 0 {
+		t.Fatalf("single-writer page scored: %v", got)
+	}
+	sus := sn.Suspects()
+	if len(sus) != 1 || sus[0].Page != 10 || sus[0].Writers != 2 {
+		t.Fatalf("suspects = %+v, want page 10 with 2 writers", sus)
+	}
+
+	// A second interleaved epoch raises the score toward 1; idle epochs
+	// then halve it until the page drops off.
+	for i := 0; i < 4; i++ {
+		h.RecordAccess(1, 10, 0, true)
+		h.RecordAccess(2, 10, 1, true)
+	}
+	h.Rotate()
+	if got := h.Snapshot().Score(10); got != 0.75 {
+		t.Fatalf("two-epoch score = %v, want 0.75", got)
+	}
+	for i := 0; i < 8; i++ {
+		h.Rotate()
+	}
+	if got := h.Snapshot().Score(10); got != 0 {
+		t.Fatalf("idle decay left score %v", got)
+	}
+}
+
+func TestFalseSharingClientKeying(t *testing.T) {
+	// One client writing disjoint slots across "transactions" must NOT
+	// score: writer identity is the client, so a private working set
+	// never implicates its own pages.
+	h := NewHeat(HeatOptions{})
+	h.SetEnabled(true)
+	for slot := int32(0); slot < 8; slot++ {
+		h.RecordAccess(7, 100, slot, true)
+	}
+	h.Rotate()
+	if got := h.Snapshot().Score(100); got != 0 {
+		t.Fatalf("single client scored %v on its private page", got)
+	}
+}
+
+func TestHeatConcurrentRecording(t *testing.T) {
+	h := NewHeat(HeatOptions{TopK: 16})
+	h.SetEnabled(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h.RecordAccess(int32(g), int32(i%64), int32(i%20), i%3 == 0)
+				if i%16 == 0 {
+					h.RecordBlock(int32(i % 64))
+				}
+				if i%500 == 0 {
+					h.Rotate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sn := h.Snapshot()
+	recorded := sn.Reads + sn.Writes
+	if recorded != 16000 {
+		t.Fatalf("recorded %d accesses, want 16000", recorded)
+	}
+	// Dropped samples are allowed (TryLock discipline) but must be the
+	// complement of what the sketches saw, not silently lost.
+	t.Logf("dropped=%d blocks=%d", sn.Dropped, sn.Blocks)
+}
+
+func TestHeatMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHeat(HeatOptions{})
+	h.RegisterMetrics(reg)
+	h.SetEnabled(true)
+	// Two samples per object so the rotation's halving decay leaves the
+	// sketch entries alive for the tracked-* gauges.
+	for i := 0; i < 2; i++ {
+		h.RecordAccess(1, 2, 3, true)
+		h.RecordAccess(1, 2, 4, false)
+	}
+	h.RecordBlock(2)
+	h.Rotate()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`oodb_heat_accesses_total{op="read"} 2`,
+		`oodb_heat_accesses_total{op="write"} 2`,
+		"oodb_heat_blocks_total 1",
+		"oodb_heat_epochs_total 1",
+		"oodb_heat_enabled 1",
+		"oodb_heat_tracked_pages 1",
+		"oodb_heat_tracked_objects 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestHeatWriteForms(t *testing.T) {
+	h := NewHeat(HeatOptions{})
+	h.SetEnabled(true)
+	h.RecordAccess(1, 10, 0, true)
+	h.RecordAccess(2, 10, 1, true)
+	var human, js strings.Builder
+	if err := h.WriteHuman(&human); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(human.String(), "top pages") || !strings.Contains(human.String(), "false-sharing") {
+		t.Fatalf("human form:\n%s", human.String())
+	}
+	if !strings.Contains(js.String(), `"top_pages"`) {
+		t.Fatalf("json form:\n%s", js.String())
+	}
+}

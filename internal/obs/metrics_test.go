@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -236,6 +237,87 @@ func TestPrometheusOutputParsesAndIsStable(t *testing.T) {
 		!strings.Contains(text, `oodb_wal_fsync_ns_bucket{le="2047"} 2`) {
 		t.Errorf("cumulative buckets wrong:\n%s", text)
 	}
+}
+
+// TestLabeledFamiliesRoundTrip registers the same labeled families (the
+// per-shard, per-op, and per-stage series the live server publishes) into
+// two registries in different orders and checks the expositions are
+// byte-identical and every line parses — scrape output must not depend on
+// registration order.
+func TestLabeledFamiliesRoundTrip(t *testing.T) {
+	type series struct {
+		name string
+		v    int64
+	}
+	var all []series
+	for shard := 0; shard < 4; shard++ {
+		all = append(all, series{Labeled("oodb_live_shard_lock_wait_ns", "shard", strconv.Itoa(shard)), int64(100 * (shard + 1))})
+	}
+	for _, op := range []string{"read", "write"} {
+		all = append(all, series{Labeled("oodb_heat_accesses_total", "op", op), 7})
+	}
+	for st := CommitStage(0); st < NumCommitStages; st++ {
+		all = append(all, series{Labeled("oodb_commit_stage_ns", "stage", st.String()), int64(st) + 1})
+	}
+
+	build := func(order []int) string {
+		reg := NewRegistry()
+		for _, i := range order {
+			reg.Histogram(all[i].name, "labeled family").Observe(all[i].v)
+		}
+		var b bytes.Buffer
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	fwd := make([]int, len(all))
+	rev := make([]int, len(all))
+	for i := range all {
+		fwd[i] = i
+		rev[i] = len(all) - 1 - i
+	}
+	a, b := build(fwd), build(rev)
+	if a != b {
+		t.Fatalf("exposition depends on registration order:\n--- forward\n%s--- reverse\n%s", a, b)
+	}
+
+	// Every non-comment line must parse, and each family's label values
+	// must appear in sorted order within the family.
+	var lastSeries string
+	for _, line := range strings.Split(strings.TrimRight(a, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := promLine.FindStringSubmatch(line); m == nil && !strings.Contains(line, `le="+Inf"`) {
+			t.Fatalf("unparseable line %q", line)
+		}
+		if strings.HasSuffix(fieldName(line), "_count") {
+			if lastSeries != "" && family(line) == family(lastSeries) && line < lastSeries {
+				t.Errorf("series out of order: %q after %q", line, lastSeries)
+			}
+			lastSeries = line
+		}
+	}
+	for _, want := range []string{
+		`oodb_live_shard_lock_wait_ns_count{shard="0"} 1`,
+		`oodb_live_shard_lock_wait_ns_count{shard="3"} 1`,
+		`oodb_heat_accesses_total_count{op="read"} 1`,
+		`oodb_commit_stage_ns_count{stage="fsync-wait"} 1`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("exposition missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// fieldName returns the metric name (with labels stripped) of a sample line.
+func fieldName(line string) string {
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		return line[:i]
+	}
+	return line
 }
 
 func TestCounterValueAndHuman(t *testing.T) {

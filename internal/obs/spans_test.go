@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpansStageNames(t *testing.T) {
+	want := []string{"queue", "encode", "lock-wait", "append", "install", "fsync-wait", "ack"}
+	if int(NumCommitStages) != len(want) {
+		t.Fatalf("NumCommitStages = %d, want %d", NumCommitStages, len(want))
+	}
+	for i, name := range want {
+		if got := CommitStage(i).String(); got != name {
+			t.Errorf("stage %d = %q, want %q", i, got, name)
+		}
+	}
+	if got := NumCommitStages.String(); got != "CommitStage(?)" {
+		t.Errorf("out-of-range stage name = %q", got)
+	}
+}
+
+func TestSpansExemplarNamesSlowTxn(t *testing.T) {
+	sp := NewSpans(nil)
+	// 90 fast commits from boring transactions, 10 slow ones ending with
+	// txn 777. The p99 class is the slow bucket, so the exemplar must name
+	// a slow txn — specifically the last one to land there.
+	for i := 0; i < 90; i++ {
+		sp.Observe(StageSyncWait, 100, int64(i+1))
+	}
+	for i := 0; i < 9; i++ {
+		sp.Observe(StageSyncWait, 5_000_000, int64(500+i))
+	}
+	sp.Observe(StageSyncWait, 5_000_000, 777)
+	sn := sp.Snapshot()
+	var fsync *StageSpan
+	for i := range sn.Stages {
+		if sn.Stages[i].Stage == "fsync-wait" {
+			fsync = &sn.Stages[i]
+		}
+	}
+	if fsync == nil || fsync.Count != 100 {
+		t.Fatalf("fsync-wait span = %+v", fsync)
+	}
+	if fsync.ExemplarTxn != 777 {
+		t.Fatalf("p99 exemplar = %d, want 777", fsync.ExemplarTxn)
+	}
+	if fsync.MaxNs != 5_000_000 {
+		t.Fatalf("max = %d", fsync.MaxNs)
+	}
+
+	// Unobserved stages carry no exemplar.
+	for _, s := range sn.Stages {
+		if s.Stage != "fsync-wait" && (s.Count != 0 || s.ExemplarTxn != 0) {
+			t.Fatalf("idle stage %q has data: %+v", s.Stage, s)
+		}
+	}
+}
+
+func TestSpansRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	sp := NewSpans(reg)
+	sp.Observe(StageAppend, 1000, 42)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `oodb_commit_stage_ns_count{stage="append"} 1`) {
+		t.Fatalf("missing labeled stage histogram:\n%s", sb.String())
+	}
+
+	var nilSpans *Spans
+	nilSpans.Observe(StageQueue, 1, 1) // nil-safe
+	if sn := nilSpans.Snapshot(); sn == nil || len(sn.Stages) != 0 {
+		t.Fatal("nil snapshot")
+	}
+}
+
+func TestSpansWriteForms(t *testing.T) {
+	sp := NewSpans(nil)
+	sp.Observe(StageQueue, 123, 9)
+	var human, js strings.Builder
+	if err := sp.WriteHuman(&human); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(human.String(), "queue") || !strings.Contains(human.String(), "p99-txn") {
+		t.Fatalf("human form:\n%s", human.String())
+	}
+	if !strings.Contains(js.String(), `"p99_exemplar_txn"`) {
+		t.Fatalf("json form:\n%s", js.String())
+	}
+}

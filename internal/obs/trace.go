@@ -29,12 +29,13 @@ const (
 	EvDeesc                 // de-escalation requested from the page-X holder
 	EvLeaseExpiry           // client deposed for an overdue callback answer
 	EvRoundCancel           // round cancelled with Client's answer outstanding (Extra: round id)
+	EvCommitStage           // commit pipeline stage finished (Slot: CommitStage, Extra: duration ns)
 )
 
 var eventKindNames = [...]string{
 	"none", "begin", "lock-request", "block", "grant", "round", "callback-sent",
 	"callback-acked", "commit", "abort", "deadlock-victim", "deesc-request",
-	"lease-expiry", "round-cancel",
+	"lease-expiry", "round-cancel", "commit-stage",
 }
 
 func (k EventKind) String() string {
@@ -193,6 +194,13 @@ func (t *Tracer) WriteJSONL(w io.Writer, n int, txn int64) error {
 	if txn != 0 {
 		filter = func(e *Event) bool { return e.Txn == txn }
 	}
+	return t.WriteJSONLFiltered(w, n, filter)
+}
+
+// WriteJSONLFiltered writes the last n retained events (all if n <= 0)
+// matching filter (nil: all) as JSON lines — the building block for the
+// admin endpoint's txn/page query combinations.
+func (t *Tracer) WriteJSONLFiltered(w io.Writer, n int, filter func(*Event) bool) error {
 	var b []byte
 	for _, e := range t.last(n, filter) {
 		b = e.appendJSON(b[:0])

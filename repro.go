@@ -99,13 +99,18 @@ type MetricsRegistry = obs.Registry
 // Tracer is the structured protocol-event tracer (see internal/obs).
 type Tracer = obs.Tracer
 
+// Heat is the sharded heat/contention collector (see internal/obs): top-K
+// access sketches over pages and objects plus a windowed false-sharing
+// detector. Reach it via Server.Heat or ClusterOptions.Heat.
+type Heat = obs.Heat
+
 // NewMetricsRegistry returns an empty registry, e.g. to share between a
 // server and its clients so one scrape covers both sides.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // ServeAdmin starts the observability HTTP endpoint for srv on addr
-// (/metrics, /statusz, /trace, /debug/pprof/*). Close the returned
-// handle to stop it.
+// (/metrics, /statusz, /trace, /heatz, /spanz, /debug/pprof/*). Close the
+// returned handle to stop it.
 func ServeAdmin(srv *Server, addr string) (*live.AdminServer, error) {
 	return live.ServeAdmin(srv, addr)
 }
@@ -166,6 +171,14 @@ type ClusterOptions struct {
 	// Metrics, when set, aggregates server and client metrics in one
 	// registry (the server creates its own otherwise).
 	Metrics *MetricsRegistry
+	// Heat starts the server with the heat/contention collector enabled
+	// (top-K hot pages and objects, false-sharing suspects; see
+	// Server.Heat and the /heatz admin endpoint).
+	Heat bool
+	// BlackboxDir, when set, writes crash blackboxes (trace ring + heat
+	// snapshot + commit spans + metrics as JSONL) into this directory on
+	// a server panic or fail-stop. See ServerOptions.BlackboxDir.
+	BlackboxDir string
 }
 
 // Cluster is an in-process server with a set of attached clients —
@@ -191,6 +204,8 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		VariableObjects: opts.VariableObjects,
 		CallbackTimeout: opts.CallbackTimeout,
 		Metrics:         opts.Metrics,
+		Heat:            opts.Heat,
+		BlackboxDir:     opts.BlackboxDir,
 	})
 	if err != nil {
 		return nil, err
