@@ -31,6 +31,17 @@
 // in the same CI job, so the ratio is noise-resistant in a way absolute
 // numbers are not.
 //
+// Reclustering's throughput recovery is guarded the same baseline-free
+// way: benchmarks that report both "early-txn/s" and "late-txn/s" (the
+// interleaved false-sharing workload before and after a recluster round)
+// are checked with
+//
+//	go test -bench ReclusterRecovery -run '^$' ./internal/live/ | benchguard -min-recovery-ratio 1.5
+//
+// which fails if late/early falls below the floor for any such
+// benchmark. Both phases run in the same process on the same host, so
+// like -scale-base the ratio needs no recorded baseline.
+//
 // -record FILE appends stdin's parsed measurements to a benchjson file
 // (stamped with this process's GOMAXPROCS/NumCPU and -note), so the run
 // that passed the guard becomes the next baseline candidate.
@@ -75,6 +86,8 @@ type measurement struct {
 	opsPerSec float64 // the live benches' "txn/s" ReportMetric column
 	p99Ns     float64 // "p99-commit-ns"
 	ttfcNs    float64 // "ttfc-ns": the recovery bench's time-to-first-commit
+	earlyTPS  float64 // "early-txn/s": throughput before reclustering engages
+	lateTPS   float64 // "late-txn/s": throughput after the recluster round
 	procs     int     // the -N name suffix: the run's GOMAXPROCS
 }
 
@@ -89,6 +102,9 @@ func main() {
 		"bench output file to compute txn/s scaling against (skips the -baseline comparison)")
 	minScale := flag.Float64("min-scale", 0,
 		"with -scale-base: fail if current txn/s / base txn/s < this for any shared benchmark")
+	minRecovery := flag.Float64("min-recovery-ratio", 0,
+		"fail if late-txn/s / early-txn/s < this for any benchmark reporting both "+
+			"(skips the -baseline comparison; the ratio is within-run, like -scale-base)")
 	record := flag.String("record", "",
 		"append stdin's parsed measurements to this benchjson file after the checks pass")
 	note := flag.String("note", "", "label recorded with -record (what changed)")
@@ -103,9 +119,12 @@ func main() {
 	}
 
 	failed := false
-	if *scaleBase != "" {
+	switch {
+	case *minRecovery > 0:
+		failed = checkRecovery(current, *minRecovery)
+	case *scaleBase != "":
 		failed = checkScaling(*scaleBase, current, *minScale)
-	} else {
+	default:
 		failed = checkBaseline(*baselinePath, current, *maxRegress, *maxSlower, *maxTPSDrop, *gomaxprocs)
 	}
 	if !failed && *record != "" {
@@ -244,6 +263,36 @@ func checkScaling(baseFile string, current map[string]measurement, minScale floa
 	return failed
 }
 
+// checkRecovery verifies the reclustering throughput-recovery floor:
+// every benchmark reporting both early-txn/s and late-txn/s must show
+// late/early >= minRatio; returns true on failure. Both phases ran in
+// the same process, so no recorded baseline is consulted.
+func checkRecovery(current map[string]measurement, minRatio float64) bool {
+	failed := false
+	compared := 0
+	for name, m := range current {
+		if m.earlyTPS <= 0 || m.lateTPS <= 0 {
+			continue
+		}
+		compared++
+		ratio := m.lateTPS / m.earlyTPS
+		status := "ok"
+		if ratio < minRatio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchguard: %-50s %9.0f -> %.0f txn/s after reclustering: %.2fx (want >= %.2fx) %s\n",
+			name, m.earlyTPS, m.lateTPS, ratio, minRatio, status)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmarks reporting early-txn/s and late-txn/s on stdin"))
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: reclustering throughput recovery below %.2fx\n", minRatio)
+	}
+	return failed
+}
+
 // recordRuns appends the parsed measurements as one benchjson run.
 func recordRuns(path string, current map[string]measurement, note string) error {
 	run := benchjson.NewRun()
@@ -251,10 +300,12 @@ func recordRuns(path string, current map[string]measurement, note string) error 
 	run.Benchmarks = make(map[string]benchjson.Benchmark, len(current))
 	for name, m := range current {
 		b := benchjson.Benchmark{
-			NsPerOp:   m.nsPerOp,
-			OpsPerSec: m.opsPerSec,
-			P99Ns:     m.p99Ns,
-			TTFCNs:    m.ttfcNs,
+			NsPerOp:        m.nsPerOp,
+			OpsPerSec:      m.opsPerSec,
+			P99Ns:          m.p99Ns,
+			TTFCNs:         m.ttfcNs,
+			EarlyOpsPerSec: m.earlyTPS,
+			LateOpsPerSec:  m.lateTPS,
 		}
 		if m.allocs >= 0 {
 			b.AllocsPerOp = m.allocs
@@ -324,6 +375,16 @@ func parseBenchOutput(f io.Reader, echo bool) (map[string]measurement, error) {
 					return nil, bad("ttfc-ns")
 				}
 				m.ttfcNs = v
+			case "early-txn/s":
+				if err != nil {
+					return nil, bad("early-txn/s")
+				}
+				m.earlyTPS = v
+			case "late-txn/s":
+				if err != nil {
+					return nil, bad("late-txn/s")
+				}
+				m.lateTPS = v
 			}
 		}
 		if m.allocs < 0 && m.nsPerOp == 0 {

@@ -88,6 +88,12 @@ func main() {
 	trace := flag.Bool("trace", false, "start with protocol event tracing enabled")
 	traceSize := flag.Int("trace-size", 0,
 		"trace ring capacity in events (0 = default, honoring OODB_TRACE_SIZE)")
+	recluster := flag.Bool("recluster", false,
+		"enable online reclustering (or OODB_RECLUSTER=1): reserve spare pages at "+
+			"creation and migrate objects off false-sharing suspect pages in the "+
+			"background (implies -heat; see /reclusterz)")
+	reclusterEvery := flag.Duration("recluster-every", 0,
+		"reclustering round period (0 = the 2s default)")
 	heat := flag.Bool("heat", false,
 		"start with heat/contention collection enabled (honoring OODB_HEAT)")
 	heatEpoch := flag.Duration("heat-epoch", 0,
@@ -109,6 +115,7 @@ func main() {
 		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
 		Shards: *shards, RecoveryJobs: *recoveryJobs,
 		TraceBuf: *traceSize, Heat: *heat, HeatEpoch: *heatEpoch,
+		Recluster: *recluster, ReclusterEvery: *reclusterEvery,
 		BlackboxDir: *blackboxDir, BlackboxMax: *blackboxMax,
 	})
 	if err != nil {

@@ -32,6 +32,11 @@ type Benchmark struct {
 	// TTFCNs is the recovery benchmark's time-to-first-commit: OpenServer
 	// over a crashed database through the first post-restart commit ack.
 	TTFCNs float64 `json:"ttfc_ns,omitempty"`
+	// EarlyOpsPerSec/LateOpsPerSec record the reclustering benchmark's
+	// interleaved false-sharing throughput before and after the recluster
+	// round (late/early is the recovery ratio CI floors).
+	EarlyOpsPerSec float64 `json:"early_ops_per_sec,omitempty"`
+	LateOpsPerSec  float64 `json:"late_ops_per_sec,omitempty"`
 }
 
 // SweepBench is one sweep's timing within a run.

@@ -102,12 +102,18 @@ const (
 	MCallback  // callback request (page, object, or adaptive)
 	MDeescReq  // de-escalate your page-level write lock (PS-AA)
 	MHello     // live-system handshake: assigned client id + geometry
+	// MRelocated: the requested object has been migrated by the online
+	// reclusterer. Obj echoes the requested (old) address; Objs[0], when
+	// present, is the new address the client should retry against. An empty
+	// Objs means the object is mid-migration (fenced) — retry the original
+	// address shortly.
+	MRelocated
 )
 
 var msgKindNames = [...]string{
 	"ReadReq", "WriteReq", "CommitReq", "AbortReq", "CallbackAck", "DeescReply",
 	"PageData", "ObjData", "Grant", "CommitAck", "AbortYou", "Callback", "DeescReq",
-	"Hello",
+	"Hello", "Relocated",
 }
 
 func (k MsgKind) String() string {
@@ -222,6 +228,20 @@ type Msg struct {
 	HelloObjSize  int32
 	HelloProto    Protocol
 	HelloVariable bool
+
+	// Relocs, on an MCommitReq from the reclusterer's in-process system
+	// client, lists the old->new placements this commit installs. It never
+	// crosses the wire codec: the live server accepts it only from its
+	// internal session (in-process transport, pointer-passing) and strips
+	// it from everything else.
+	Relocs []RelocEntry
+}
+
+// RelocEntry records one object migration: reads and writes addressed to
+// From are served at To once the installing commit is durable.
+type RelocEntry struct {
+	From ObjID
+	To   ObjID
 }
 
 // SizeBytes computes the wire size of the message per the paper's cost

@@ -40,6 +40,13 @@ type ServerEngine struct {
 
 	mergeObjs int64 // CopyMergeInst accumulator (commit installs)
 
+	// system marks clients whose transactions are infrastructure, not
+	// workload — the live server's reclustering migrations. Their commits
+	// and aborts are excluded from Stats (user-facing throughput must not
+	// be inflated by the system's own housekeeping); locking, callbacks,
+	// and traces are unaffected.
+	system map[ClientID]bool
+
 	Stats ServerCounters
 
 	// Trace, when set, observes protocol events (transaction lifecycle,
@@ -183,6 +190,23 @@ func NewServerEngine(proto Protocol, layout *Layout) *ServerEngine {
 		roundStride: 1,
 	}
 }
+
+// SetSystemClient marks (or unmarks) c as a system client: its commits
+// and aborts stop counting in Stats. The host must call this on every
+// engine shard the client can reach, before the client issues requests.
+func (se *ServerEngine) SetSystemClient(c ClientID, on bool) {
+	if se.system == nil {
+		se.system = make(map[ClientID]bool)
+	}
+	if on {
+		se.system[c] = true
+	} else {
+		delete(se.system, c)
+	}
+}
+
+// IsSystemClient reports whether c is marked as a system client.
+func (se *ServerEngine) IsSystemClient(c ClientID) bool { return se.system[c] }
 
 // Handle processes one incoming client message and returns the outgoing
 // server messages. The returned slice is reused across calls; the caller

@@ -504,7 +504,9 @@ func (se *ServerEngine) handleCommit(m *Msg) { se.commitShard(m, true) }
 // case.
 func (se *ServerEngine) commitShard(m *Msg, owner bool) {
 	if owner {
-		se.Stats.Commits.Add(1)
+		if !se.system[m.From] {
+			se.Stats.Commits.Add(1)
+		}
 		se.trace(obs.EvCommit, m.Txn, m.From, ObjID{}, int64(len(m.Objs)))
 	}
 	t := se.txns[m.Txn]
@@ -540,7 +542,9 @@ func (se *ServerEngine) handleAbort(m *Msg) { se.abortShard(m, true) }
 // engine's pages; only the owner counts and traces the abort.
 func (se *ServerEngine) abortShard(m *Msg, owner bool) {
 	if owner {
-		se.Stats.Aborts.Add(1)
+		if !se.system[m.From] {
+			se.Stats.Aborts.Add(1)
+		}
 		se.trace(obs.EvAbort, m.Txn, m.From, ObjID{}, 0)
 	}
 	t := se.txns[m.Txn]
@@ -711,7 +715,9 @@ func (se *ServerEngine) DisconnectDedup(c ClientID, seen map[TxnID]bool) []Msg {
 			if seen != nil {
 				seen[t.id] = true
 			}
-			se.Stats.Aborts.Add(1)
+			if !se.system[c] {
+				se.Stats.Aborts.Add(1)
+			}
 			se.trace(obs.EvAbort, t.id, c, ObjID{}, 1)
 		}
 		se.finishTxn(t.id)

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -22,6 +23,8 @@ import (
 //	                      pages, false-sharing suspects (human by default)
 //	/heatz/on, /heatz/off  switch heat collection at runtime
 //	/spanz?format=json    commit-stage latency spans with p99 exemplar txns
+//	/reclusterz?format=json  online-reclustering status: geometry split and
+//	                      the relocation table; ?run=1 triggers one round
 //	/debug/pprof/*        the standard Go profiling endpoints
 //
 // The handlers collect metrics without the server lock (the gauges take
@@ -47,7 +50,7 @@ func AdminHandler(s *Server) http.Handler {
 			fmt.Fprintf(w, "blackbox:  %s\n", s.flight.Dir())
 		}
 		fmt.Fprintf(w, "endpoints: /metrics | /statusz | /trace?n=<count>&txn=<id>&page=<id> (+/trace/on,/trace/off)\n")
-		fmt.Fprintf(w, "           /heatz?format=json (+/heatz/on,/heatz/off) | /spanz?format=json | /debug/pprof/*\n\n")
+		fmt.Fprintf(w, "           /heatz?format=json (+/heatz/on,/heatz/off) | /spanz?format=json | /reclusterz | /debug/pprof/*\n\n")
 		fmt.Fprintf(w, "engine: reads=%d writes=%d commits=%d aborts=%d blocks=%d deadlocks=%d\n",
 			st.ReadReqs, st.WriteReqs, st.Commits, st.Aborts, st.Blocks, st.Deadlocks)
 		fmt.Fprintf(w, "        rounds=%d callbacks=%d busy=%d deesc=%d pageX=%d objX=%d\n\n",
@@ -102,6 +105,36 @@ func AdminHandler(s *Server) http.Handler {
 	mux.HandleFunc("/heatz/off", func(w http.ResponseWriter, r *http.Request) {
 		s.heat.SetEnabled(false)
 		fmt.Fprintln(w, "heat collection off")
+	})
+	mux.HandleFunc("/reclusterz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("run") == "1" {
+			moved, err := s.ReclusterNow()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "recluster round complete: %d objects moved\n", moved)
+			return
+		}
+		st := s.ReclusterStatus(true)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "online reclustering: enabled=%v\n", st.Enabled)
+		fmt.Fprintf(w, "geometry: %d user pages + %d spare\n", st.UserPages, st.SparePages)
+		fmt.Fprintf(w, "relocations: %d live entries\n", st.Relocated)
+		max := 64
+		for i, e := range st.Entries {
+			if i >= max {
+				fmt.Fprintf(w, "  ... %d more\n", len(st.Entries)-max)
+				break
+			}
+			fmt.Fprintf(w, "  (%d,%d) -> (%d,%d)\n", e.From.Page, e.From.Slot, e.To.Page, e.To.Slot)
+		}
+		fmt.Fprintf(w, "trigger a round: /reclusterz?run=1\n")
 	})
 	mux.HandleFunc("/spanz", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {

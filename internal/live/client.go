@@ -62,6 +62,12 @@ type Client struct {
 	reconnecting bool
 	recvErr      error
 	closeCh      chan struct{}
+
+	// aliases caches relocation redirects learned from MRelocated replies:
+	// original address -> current placement (guarded by mu). Entries are
+	// hints — the server re-redirects if one goes stale — and are dropped
+	// on reconnect with the rest of the session state.
+	aliases map[core.ObjID]core.ObjID
 }
 
 // pendingReq is one outstanding request. The receive loop runs apply under
@@ -340,6 +346,7 @@ func (c *Client) reconnect(cause error) Conn {
 		c.cs = core.NewClientState(c.id, c.proto, c.cacheCap)
 		c.pageData = make(map[core.PageID][]byte)
 		c.objData = make(map[core.ObjID][]byte)
+		c.aliases = nil
 		c.reconnecting = false
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -411,6 +418,11 @@ type Txn struct {
 	c      *Client
 	done   bool
 	failed error // terminal error (disconnect/timeout) to surface on reuse
+
+	// relocs rides on the commit of a reclustering migration (set only by
+	// the in-process planner; the server strips it from anyone else): the
+	// relocation entries the commit installs atomically with its images.
+	relocs []core.RelocEntry
 }
 
 // roundTrip sends m and waits for its reply; apply runs under c.mu in the
@@ -514,7 +526,71 @@ func (c *Client) checkObjID(o core.ObjID) error {
 	return nil
 }
 
-// Read returns the current value of object o under this transaction.
+// resolveAlias maps a user address through the relocation hints (mu held).
+func (c *Client) resolveAlias(o core.ObjID) core.ObjID {
+	if to, ok := c.aliases[o]; ok {
+		return to
+	}
+	return o
+}
+
+// learnAlias records that the object the caller knows as orig currently
+// lives at to (mu held). Keyed by the original address, so chains collapse
+// to one hop no matter how many times the object moves.
+func (c *Client) learnAlias(orig, to core.ObjID) {
+	if c.aliases == nil {
+		c.aliases = make(map[core.ObjID]core.ObjID)
+	}
+	c.aliases[orig] = to
+}
+
+// Fence-busy retry: a request bounced off a mid-migration fence backs off
+// briefly and retries. Migrations commit in milliseconds and orphaned
+// fences expire after fenceTTL at the server, so the window is bounded;
+// exceeding it means something is genuinely wedged.
+const relocRetryLimit = 500
+
+func relocBackoff(attempt int) time.Duration {
+	d := 100 * time.Microsecond * time.Duration(attempt+1)
+	if d > 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+// fenceWait sleeps off a fence bounce without holding the client lock (the
+// receive loop needs it for callbacks), then revalidates the transaction.
+func (t *Txn) fenceWait(attempt int) error {
+	c := t.c
+	if attempt >= relocRetryLimit {
+		return fmt.Errorf("live: object fenced by a migration for too long")
+	}
+	c.mu.Unlock()
+	time.Sleep(relocBackoff(attempt))
+	c.mu.Lock()
+	return t.check()
+}
+
+// relocReply inspects a roundTrip reply for the relocation front door's
+// answers: a redirect (retry at the returned address) or a fence bounce
+// (empty Objs: back off and retry in place). Runs in the receive loop
+// under c.mu, before applyReply would reject the unexpected kind.
+func relocReply(rep *core.Msg, redirect *core.ObjID, isRedirect, fenced *bool) bool {
+	if rep.Kind != core.MRelocated {
+		return false
+	}
+	if len(rep.Objs) > 0 {
+		*redirect = rep.Objs[0]
+		*isRedirect = true
+	} else {
+		*fenced = true
+	}
+	return true
+}
+
+// Read returns the current value of object o under this transaction. If o
+// was migrated by the reclusterer the server answers with a redirect; the
+// client follows it (caching the alias) transparently.
 func (t *Txn) Read(o core.ObjID) ([]byte, error) {
 	c := t.c
 	c.mu.Lock()
@@ -525,30 +601,51 @@ func (t *Txn) Read(o core.ObjID) ([]byte, error) {
 	if err := c.checkObjID(o); err != nil {
 		return nil, err
 	}
-	if m := c.cs.NeedForRead(o); m != nil {
-		c.met.miss()
-		var val []byte
-		err := c.roundTrip(m, func(rep *core.Msg) {
-			// Runs in the receive loop: install the data, record the read,
-			// and snapshot the value before any later callback can touch it.
-			c.applyReply(rep)
-			c.cs.RecordRead(o)
-			val = c.objBytes(o)
-		})
-		if err != nil {
-			return nil, t.finishIfAborted(err)
+	target := c.resolveAlias(o)
+	for attempt := 0; ; attempt++ {
+		if m := c.cs.NeedForRead(target); m != nil {
+			c.met.miss()
+			var val []byte
+			var redirect core.ObjID
+			var isRedirect, fenced bool
+			cur := target
+			err := c.roundTrip(m, func(rep *core.Msg) {
+				if relocReply(rep, &redirect, &isRedirect, &fenced) {
+					return
+				}
+				// Runs in the receive loop: install the data, record the read,
+				// and snapshot the value before any later callback can touch it.
+				c.applyReply(rep)
+				c.cs.RecordRead(cur)
+				val = c.objBytes(cur)
+			})
+			if err != nil {
+				return nil, t.finishIfAborted(err)
+			}
+			if fenced {
+				if err := t.fenceWait(attempt); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if isRedirect {
+				c.learnAlias(o, redirect)
+				target = redirect
+				continue
+			}
+			return val, nil
 		}
-		return val, nil
+		c.met.hit()
+		c.cs.RecordRead(target)
+		return c.objBytes(target), nil
 	}
-	c.met.hit()
-	c.cs.RecordRead(o)
-	return c.objBytes(o), nil
 }
 
 // Write installs a new value for object o (at most ObjSize bytes; shorter
 // values are zero-padded). Writes replace the whole object, so no prior
 // read is required — a blind write under the object's write lock is
-// serializable even if the local copy was stale.
+// serializable even if the local copy was stale. Redirects are followed
+// like Read's.
 func (t *Txn) Write(o core.ObjID, data []byte) error {
 	c := t.c
 	c.mu.Lock()
@@ -562,20 +659,43 @@ func (t *Txn) Write(o core.ObjID, data []byte) error {
 	if len(data) > c.objSize {
 		return fmt.Errorf("live: value %d bytes exceeds object size %d", len(data), c.objSize)
 	}
-	c.cs.StartWrite(o)
-	if m := c.cs.NeedForWrite(o); m != nil {
-		c.met.miss()
-		err := c.roundTrip(m, func(rep *core.Msg) {
-			c.applyReply(rep)
-			c.cs.RecordWrite(o)
-			c.setObjBytes(o, data)
-		})
-		return t.finishIfAborted(err)
+	target := c.resolveAlias(o)
+	for attempt := 0; ; attempt++ {
+		c.cs.StartWrite(target)
+		if m := c.cs.NeedForWrite(target); m != nil {
+			c.met.miss()
+			var redirect core.ObjID
+			var isRedirect, fenced bool
+			cur := target
+			err := c.roundTrip(m, func(rep *core.Msg) {
+				if relocReply(rep, &redirect, &isRedirect, &fenced) {
+					return
+				}
+				c.applyReply(rep)
+				c.cs.RecordWrite(cur)
+				c.setObjBytes(cur, data)
+			})
+			if err != nil {
+				return t.finishIfAborted(err)
+			}
+			if fenced {
+				if err := t.fenceWait(attempt); err != nil {
+					return err
+				}
+				continue
+			}
+			if isRedirect {
+				c.learnAlias(o, redirect)
+				target = redirect
+				continue
+			}
+			return nil
+		}
+		c.met.hit()
+		c.cs.RecordWrite(target)
+		c.setObjBytes(target, data)
+		return nil
 	}
-	c.met.hit()
-	c.cs.RecordWrite(o)
-	c.setObjBytes(o, data)
-	return nil
 }
 
 // Update is a read-modify-write convenience: it reads o, applies fn, and
@@ -600,6 +720,7 @@ func (t *Txn) Commit() error {
 	if len(updates) > 0 {
 		m := c.cs.BuildCommit()
 		m.Updates = updates
+		m.Relocs = t.relocs
 		err := c.roundTrip(m, func(rep *core.Msg) {
 			if rep.Kind != core.MCommitAck {
 				panic(fmt.Sprintf("live: unexpected commit reply %v", rep.Kind))

@@ -352,9 +352,19 @@ func decodeMsg(b []byte) (*core.Msg, error) {
 // path there).
 const walFormatBinary = 0xB1
 
+// walFormatBinary2 marks a record that additionally carries relocation
+// entries (online reclustering). Records without relocations keep the
+// 0xB1 layout, so logs written by a reclustering server stay readable by
+// the 0xB1 decoder right up to the first migration commit.
+const walFormatBinary2 = 0xB2
+
 // appendWALRecord encodes rec onto b (the CRC-framed WAL body).
 func appendWALRecord(b []byte, rec *walRecord) []byte {
-	b = append(b, walFormatBinary)
+	format := byte(walFormatBinary)
+	if len(rec.Relocs) > 0 {
+		format = walFormatBinary2
+	}
+	b = append(b, format)
 	b = appendInt(b, int64(rec.Txn))
 	b = appendInt(b, int64(rec.Client))
 	var flags byte
@@ -364,11 +374,19 @@ func appendWALRecord(b []byte, rec *walRecord) []byte {
 	b = append(b, flags)
 	b = appendObjIDs(b, rec.Objs)
 	if rec.Images == nil {
-		return appendUint(b, 0)
+		b = appendUint(b, 0)
+	} else {
+		b = appendUint(b, uint64(len(rec.Images))+1)
+		for _, img := range rec.Images {
+			b = appendBytes(b, img)
+		}
 	}
-	b = appendUint(b, uint64(len(rec.Images))+1)
-	for _, img := range rec.Images {
-		b = appendBytes(b, img)
+	if format == walFormatBinary2 {
+		b = appendUint(b, uint64(len(rec.Relocs)))
+		for _, r := range rec.Relocs {
+			b = appendObjID(b, r.From)
+			b = appendObjID(b, r.To)
+		}
 	}
 	return b
 }
@@ -403,9 +421,10 @@ func decodeCheckpointBody(b []byte) (delta int64, ok bool) {
 // decodeWALRecord decodes a binary WAL body; it returns an error for
 // non-binary (e.g. legacy gob) bodies so the caller can fall back.
 func decodeWALRecord(b []byte) (*walRecord, error) {
-	if len(b) == 0 || b[0] != walFormatBinary {
+	if len(b) == 0 || (b[0] != walFormatBinary && b[0] != walFormatBinary2) {
 		return nil, fmt.Errorf("live: not a binary WAL record")
 	}
+	format := b[0]
 	d := wireDecoder{b: b, off: 1}
 	rec := &walRecord{}
 	rec.Txn = core.TxnID(d.int())
@@ -416,6 +435,17 @@ func decodeWALRecord(b []byte) (*walRecord, error) {
 		rec.Images = make([][]byte, 0, n)
 		for i := 0; i < n && d.err == nil; i++ {
 			rec.Images = append(rec.Images, d.bytes())
+		}
+	}
+	if format == walFormatBinary2 {
+		n := d.uint()
+		if d.err == nil && n > uint64(len(b)) {
+			d.fail("reloc count %d exceeds body", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			from := d.objID()
+			to := d.objID()
+			rec.Relocs = append(rec.Relocs, core.RelocEntry{From: from, To: to})
 		}
 	}
 	if d.err != nil {

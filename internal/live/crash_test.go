@@ -15,9 +15,10 @@ import (
 
 // livePoints are the crash points the commit/checkpoint script can fire;
 // the fuzzer enumerates them and requires each to actually fire under the
-// script. recover.mid-replay is registered but absent here: it only
-// traverses during recovery itself, which TestCrashDuringRecovery arms
-// separately (recovery_test.go).
+// script. recover.mid-replay and recluster.mid-move are registered but
+// absent here: they only traverse during recovery / migration commits,
+// which TestCrashDuringRecovery (recovery_test.go) and
+// TestReclusterMidMoveCrash (recluster_test.go) arm separately.
 var livePoints = []string{
 	"wal.append.pre-frame",
 	"wal.append.torn-write",
@@ -36,7 +37,7 @@ func TestCrashPointsRegistered(t *testing.T) {
 	for _, n := range fault.Points() {
 		registered[n] = true
 	}
-	for _, n := range append([]string{"recover.mid-replay"}, livePoints...) {
+	for _, n := range append([]string{"recover.mid-replay", "recluster.mid-move"}, livePoints...) {
 		if !registered[n] {
 			t.Errorf("crash point %q not registered", n)
 		}

@@ -75,6 +75,15 @@ type serverMetrics struct {
 	recoveryPagesReplayed *obs.Counter
 	recoveryPagesSkipped  *obs.Counter
 	recoveryDurationNs    *obs.Counter
+
+	// Online reclustering: objects migrated (relocation entries applied by
+	// committed migration txns), suspect pages the planner chose to split,
+	// front-door redirects served for retired addresses, and requests
+	// bounced off a mid-migration fence.
+	reclusterMoves        *obs.Counter
+	reclusterPagesSplit   *obs.Counter
+	reclusterRedirects    *obs.Counter
+	reclusterFenceBounces *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -129,6 +138,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"distinct pages whose logged images were all below the checkpoint watermark at recovery")
 	m.recoveryDurationNs = reg.Counter("oodb_live_recovery_duration_ns",
 		"total wall time spent replaying the WAL at recovery, ns")
+	m.reclusterMoves = reg.Counter("oodb_recluster_moves_total",
+		"objects migrated to new placements by committed reclustering txns")
+	m.reclusterPagesSplit = reg.Counter("oodb_recluster_pages_split_total",
+		"false-sharing suspect pages the reclusterer split writers off of")
+	m.reclusterRedirects = reg.Counter("oodb_recluster_redirects_total",
+		"requests for retired addresses answered with an MRelocated redirect")
+	m.reclusterFenceBounces = reg.Counter("oodb_recluster_fence_bounces_total",
+		"requests bounced off a mid-migration fence (client retries shortly)")
 	return m
 }
 
@@ -178,6 +195,13 @@ func (s *Server) registerServerGauges(reg *obs.Registry) {
 		})
 	reg.FuncCounter("oodb_trace_dropped_total",
 		"trace events dropped by the lossy ring", s.tracer.Dropped)
+	reg.FuncGauge("oodb_recluster_table_size", "live relocation-table entries",
+		func() int64 {
+			if s.relocs == nil {
+				return 0
+			}
+			return int64(len(s.relocs.view().m))
+		})
 }
 
 // onEngineTrace receives every protocol event from one engine shard
@@ -190,10 +214,16 @@ func (s *Server) onEngineTrace(sh *engineShard, kind obs.EventKind, txn core.Txn
 	switch kind {
 	case obs.EvLockReq:
 		// Heat sample: every read/write request that reached the engine,
-		// by object. Disabled, this is one atomic load.
-		s.heat.RecordAccess(int32(client), int32(obj.Page), int32(obj.Slot), extra == 1)
+		// by object. Disabled, this is one atomic load. The reclustering
+		// planner's own traffic is excluded — its migrations touching a
+		// page must not feed the very evidence that plans migrations.
+		if int64(client) != s.internalID.Load() {
+			s.heat.RecordAccess(int32(client), int32(obj.Page), int32(obj.Slot), extra == 1)
+		}
 	case obs.EvBlock:
-		s.heat.RecordBlock(int32(obj.Page))
+		if int64(client) != s.internalID.Load() {
+			s.heat.RecordBlock(int32(obj.Page))
+		}
 		s.bsMu.Lock()
 		if _, ok := s.blockStart[txn]; !ok {
 			s.blockStart[txn] = time.Now()

@@ -1,0 +1,370 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The relocation table is the server-authoritative record of online
+// reclustering: old object address -> current physical address. The front
+// door consults it on every read/write request (via a copy-on-write
+// snapshot, so the hot path is one atomic load and a map probe), and
+// clients learn redirects lazily through MRelocated replies.
+//
+// Durability: every migration commit carries its relocations in the WAL
+// record (walFormatBinary2), so the table is always reconstructible from
+// relocs.db (the checkpoint-time base image) plus the WAL suffix. The
+// side file is written atomically (tmp + rename + dir fsync, CRC-framed)
+// at store creation, at every checkpoint BEFORE the watermark retires the
+// covered records, and at clean shutdown. It also records the spare-page
+// count — the pages past the user-visible geometry that migrations
+// allocate destinations from.
+
+const (
+	relocMagic   = 0x4352_4C4F // "ORLC"
+	relocVersion = 1
+	relocFile    = "relocs.db"
+)
+
+// relocView is one immutable copy-on-write snapshot of the table: the
+// redirect map for the front door, plus a per-page index of retired
+// (moved-away-from) slots so page grants can mark them Unavail without
+// scanning the whole map.
+type relocView struct {
+	m       map[core.ObjID]core.ObjID
+	retired map[core.PageID][]uint16
+}
+
+// relocTable maps retired object addresses to their current placement,
+// with chain compression: every stored mapping is terminal (from ->
+// final), so lookups never walk. Writers hold mu; the request hot path
+// reads the published snapshot instead.
+type relocTable struct {
+	mu    sync.Mutex
+	m     map[core.ObjID]core.ObjID
+	spare int32 // spare (non-user-addressable) pages in the store
+
+	snap atomic.Pointer[relocView]
+}
+
+func newRelocTable(spare int32) *relocTable {
+	t := &relocTable{m: make(map[core.ObjID]core.ObjID), spare: spare}
+	t.publish()
+	return t
+}
+
+// publish installs a fresh copy-on-write snapshot of the table. Callers
+// batch applies and publish once per commit install.
+func (t *relocTable) publish() {
+	v := &relocView{
+		m:       make(map[core.ObjID]core.ObjID, len(t.m)),
+		retired: make(map[core.PageID][]uint16),
+	}
+	for k, to := range t.m {
+		v.m[k] = to
+		v.retired[k.Page] = append(v.retired[k.Page], k.Slot)
+	}
+	t.snap.Store(v)
+}
+
+// view returns the current snapshot for lock-free lookups. Nil-receiver
+// safe: a server without reclustering state sees an empty view.
+func (t *relocTable) view() *relocView {
+	if t == nil {
+		return nil
+	}
+	return t.snap.Load()
+}
+
+// lookup resolves o through the view (nil-safe).
+func (v *relocView) lookup(o core.ObjID) (core.ObjID, bool) {
+	if v == nil || len(v.m) == 0 {
+		return core.ObjID{}, false
+	}
+	to, ok := v.m[o]
+	return to, ok
+}
+
+// retiredSlots returns the moved-away-from slots on page p (nil-safe).
+func (v *relocView) retiredSlots(p core.PageID) []uint16 {
+	if v == nil {
+		return nil
+	}
+	return v.retired[p]
+}
+
+// apply records from -> to under mu WITHOUT publishing (the caller
+// publishes after its batch, while still holding whatever makes the batch
+// atomic to readers). Chains compress eagerly: if to is itself relocated
+// the terminal address is stored, and every mapping ending at from is
+// rewritten to to — so the invariant "stored mappings are terminal" holds
+// and apply order only matters between entries that chain.
+func (t *relocTable) apply(from, to core.ObjID) {
+	if final, ok := t.m[to]; ok {
+		to = final
+	}
+	if from == to {
+		delete(t.m, from)
+		return
+	}
+	t.m[from] = to
+	for k, v := range t.m {
+		if v == from {
+			t.m[k] = to
+		}
+	}
+}
+
+// applyAll batches apply + publish under mu (recovery and tests; the
+// commit path holds mu across apply and publish itself for install-order
+// control).
+func (t *relocTable) applyAll(relocs []core.RelocEntry) {
+	if len(relocs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, r := range relocs {
+		t.apply(r.From, r.To)
+	}
+	t.publish()
+	t.mu.Unlock()
+}
+
+// len returns the number of live relocations.
+func (t *relocTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// entries returns a copy of the table (admin view / persistence).
+func (t *relocTable) entries() []core.RelocEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]core.RelocEntry, 0, len(t.m))
+	for k, v := range t.m {
+		out = append(out, core.RelocEntry{From: k, To: v})
+	}
+	return out
+}
+
+// maxSpareSlot returns the highest destination (page, slot) at or above
+// userPages, or (0, false) if none — the restart cursor for the spare
+// allocator.
+func (t *relocTable) maxSpareSlot(userPages core.PageID) (core.ObjID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best core.ObjID
+	found := false
+	for _, v := range t.m {
+		if v.Page < userPages {
+			continue
+		}
+		if !found || v.Page > best.Page || (v.Page == best.Page && v.Slot > best.Slot) {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// encode serializes the table (CRC-framed) for writeRelocFile. Checkpoint
+// calls it at watermark capture (under installMu exclusive) so the saved
+// base covers exactly the records below the watermark; the file write
+// itself happens later, off the lock.
+func (t *relocTable) encode() []byte {
+	t.mu.Lock()
+	buf := make([]byte, 0, 20+12*len(t.m))
+	buf = binary.LittleEndian.AppendUint32(buf, relocMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, relocVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.spare))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.m)))
+	// Entries are sorted by source address so identical tables encode to
+	// identical bytes — the shard-equivalence tests diff relocs.db
+	// directly, and deterministic output costs nothing at this size.
+	keys := make([]core.ObjID, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Page != keys[j].Page {
+			return keys[i].Page < keys[j].Page
+		}
+		return keys[i].Slot < keys[j].Slot
+	})
+	for _, k := range keys {
+		v := t.m[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k.Page))
+		buf = binary.LittleEndian.AppendUint16(buf, k.Slot)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.Page))
+		buf = binary.LittleEndian.AppendUint16(buf, v.Slot)
+	}
+	t.mu.Unlock()
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// save writes the table's current contents atomically to dir/relocs.db.
+func (t *relocTable) save(dir string) error {
+	return writeRelocFile(dir, t.encode())
+}
+
+// writeRelocFile atomically replaces dir/relocs.db with buf (tmp + rename
+// + directory fsync, the WAL truncation's discipline).
+func writeRelocFile(dir string, buf []byte) error {
+	path := filepath.Join(dir, relocFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable, same discipline as the WAL's
+	// truncation: without the directory fsync a crash can resurrect the
+	// old file.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// loadRelocTable reads dir/relocs.db. A missing file yields (nil, 0, nil):
+// the store predates reclustering (or was created without it), so there
+// are no spare pages and no redirects. A present-but-corrupt file is an
+// error — fail-stop beats silently dropping redirects, which would serve
+// stale bytes at retired addresses.
+func loadRelocTable(dir string) (*relocTable, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, relocFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 20 {
+		return nil, fmt.Errorf("live: %s: truncated (%d bytes)", relocFile, len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("live: %s: checksum mismatch", relocFile)
+	}
+	if m := binary.LittleEndian.Uint32(body[0:]); m != relocMagic {
+		return nil, fmt.Errorf("live: %s: bad magic %#x", relocFile, m)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != relocVersion {
+		return nil, fmt.Errorf("live: %s: unsupported version %d", relocFile, v)
+	}
+	spare := int32(binary.LittleEndian.Uint32(body[8:]))
+	count := binary.LittleEndian.Uint32(body[12:])
+	if int(count)*12 != len(body)-16 {
+		return nil, fmt.Errorf("live: %s: entry count %d does not match size", relocFile, count)
+	}
+	t := newRelocTable(spare)
+	off := 16
+	for i := uint32(0); i < count; i++ {
+		from := core.ObjID{
+			Page: core.PageID(binary.LittleEndian.Uint32(body[off:])),
+			Slot: binary.LittleEndian.Uint16(body[off+4:]),
+		}
+		to := core.ObjID{
+			Page: core.PageID(binary.LittleEndian.Uint32(body[off+6:])),
+			Slot: binary.LittleEndian.Uint16(body[off+10:]),
+		}
+		t.m[from] = to
+		off += 12
+	}
+	t.publish()
+	return t, nil
+}
+
+// fenceSet tracks objects mid-migration. While an object is fenced, the
+// front door bounces new user reads/writes of it with an empty MRelocated
+// (retry shortly) so a migration's lock acquisition cannot chase an
+// ever-growing FIFO queue. Entries carry their install time: the front
+// door ignores (and sweeps) fences older than fenceTTL, so a planner that
+// dies between fence and commit cannot black-hole an object forever —
+// the migration txn itself would have timed out or aborted by then.
+type fenceSet struct {
+	n  atomic.Int64 // fast-path emptiness check
+	mu sync.Mutex
+	m  map[core.ObjID]time.Time
+}
+
+// fenceTTL bounds how long an orphaned fence can bounce requests.
+const fenceTTL = 2 * time.Second
+
+func newFenceSet() *fenceSet { return &fenceSet{m: make(map[core.ObjID]time.Time)} }
+
+func (f *fenceSet) add(objs []core.ObjID) {
+	f.mu.Lock()
+	now := time.Now()
+	for _, o := range objs {
+		if _, ok := f.m[o]; !ok {
+			f.n.Add(1)
+		}
+		f.m[o] = now
+	}
+	f.mu.Unlock()
+}
+
+func (f *fenceSet) remove(objs []core.ObjID) {
+	f.mu.Lock()
+	for _, o := range objs {
+		if _, ok := f.m[o]; ok {
+			delete(f.m, o)
+			f.n.Add(-1)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// blocked reports whether o is actively fenced; stale fences are swept on
+// the way.
+func (f *fenceSet) blocked(o core.ObjID) bool {
+	if f == nil || f.n.Load() == 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	at, ok := f.m[o]
+	if !ok {
+		return false
+	}
+	if time.Since(at) > fenceTTL {
+		delete(f.m, o)
+		f.n.Add(-1)
+		return false
+	}
+	return true
+}

@@ -31,6 +31,13 @@ var (
 	cpCheckpointMid    = fault.Register("checkpoint.mid")
 	cpCheckpointPreWM  = fault.Register("checkpoint.pre-watermark")
 	cpCheckpointPostWM = fault.Register("checkpoint.post-watermark")
+
+	// cpReclusterMidMove crashes a migration commit after its WAL append
+	// but before the installs and the relocation-table publish: the log
+	// holds a relocation record (durable or not, depending on the sync
+	// race) that relocs.db does not — recovery must reconstruct the table
+	// from base + log either way.
+	cpReclusterMidMove = fault.Register("recluster.mid-move")
 )
 
 // ServerOptions configures a live server.
@@ -104,6 +111,24 @@ type ServerOptions struct {
 	BlackboxDir string
 	// BlackboxMax bounds retained blackbox dumps (default 8).
 	BlackboxMax int
+	// Recluster enables online reclustering: the store is created with a
+	// spare-page region past the user-visible geometry, and a background
+	// planner consumes heat snapshots and migrates objects off
+	// false-sharing pages into (near-)private spare pages via system
+	// transactions. Implies Heat; honors OODB_RECLUSTER=1. Fixed-slot
+	// stores only (the variable store relocates on its own terms). On a
+	// pre-existing store created without reclustering there is no spare
+	// region, so the planner stays inert.
+	Recluster bool
+	// ReclusterEvery is the planner's polling period (default 2s).
+	ReclusterEvery time.Duration
+	// ReclusterSpare overrides the spare-page count reserved at store
+	// creation (default NumPages/8, clamped to [4, 256]).
+	ReclusterSpare int
+	// ReclusterMaxMoves caps object migrations per planner round
+	// (default 64) — the pacing knob keeping migration a background
+	// trickle.
+	ReclusterMaxMoves int
 }
 
 // objectStore abstracts the fixed-slot Store and the variable-size VStore.
@@ -187,6 +212,29 @@ func (o *ServerOptions) defaults() {
 	if o.HeatEpoch <= 0 {
 		o.HeatEpoch = 10 * time.Second
 	}
+	if !o.Recluster {
+		if v := os.Getenv("OODB_RECLUSTER"); v == "1" || v == "true" {
+			o.Recluster = true
+		}
+	}
+	if o.Recluster {
+		o.Heat = true // the planner is blind without the collector
+		if o.ReclusterEvery <= 0 {
+			o.ReclusterEvery = 2 * time.Second
+		}
+		if o.ReclusterMaxMoves <= 0 {
+			o.ReclusterMaxMoves = 64
+		}
+		if o.ReclusterSpare <= 0 {
+			o.ReclusterSpare = o.NumPages / 8
+			if o.ReclusterSpare < 4 {
+				o.ReclusterSpare = 4
+			}
+			if o.ReclusterSpare > 256 {
+				o.ReclusterSpare = 256
+			}
+		}
+	}
 }
 
 // engineShard is one slice of the partitioned engine: a full protocol
@@ -226,6 +274,19 @@ type Server struct {
 
 	store objectStore
 	wal   *WAL
+	dir   string // database directory (relocs.db lives beside data.db)
+
+	// Online-reclustering state. relocs is the authoritative redirect
+	// table (nil when the store has no spare region and no relocations —
+	// reclustering inert); fences gates requests for mid-migration
+	// objects; userPages is the client-visible page count (physical minus
+	// the spare region); internalID is the planner's session (0: none),
+	// exempt from the front door and excluded from heat and user stats.
+	relocs     *relocTable
+	fences     *fenceSet
+	userPages  int
+	internalID atomic.Int64
+	recl       *recluster // background planner; nil unless opts.Recluster
 
 	// installMu orders commit installs against checkpoints, replacing
 	// what the single engine lock used to guarantee: a commit holds it
@@ -484,6 +545,10 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 	if _, statErr := os.Stat(dataPath); errors.Is(statErr, os.ErrNotExist) {
 		exists = false
 	}
+	if opts.Recluster && opts.VariableObjects {
+		return nil, fmt.Errorf("live: reclustering requires the fixed-slot store (the variable store relocates objects on its own terms)")
+	}
+	var relocs *relocTable
 	if opts.VariableObjects {
 		if opts.Proto != core.OS {
 			return nil, fmt.Errorf("live: variable-size objects require the OS protocol (got %v): page images are not client-interpretable", opts.Proto)
@@ -495,15 +560,42 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		}
 	} else if exists {
 		store, err = OpenStore(dataPath)
+	} else if opts.Recluster {
+		// Reclustering reserves a spare region past the user-visible
+		// geometry: migrations allocate destination slots there. The spare
+		// count persists in relocs.db (written before the store can take a
+		// commit), and clients are told only the user page count.
+		store, err = CreateStore(dataPath, opts.PageSize, opts.ObjsPerPage, opts.NumPages+opts.ReclusterSpare)
+		if err == nil {
+			relocs = newRelocTable(int32(opts.ReclusterSpare))
+			if err = relocs.save(dir); err != nil {
+				store.Close()
+			}
+		}
 	} else {
 		store, err = CreateStore(dataPath, opts.PageSize, opts.ObjsPerPage, opts.NumPages)
 	}
 	if err != nil {
 		return nil, err
 	}
+	if relocs == nil && !opts.VariableObjects {
+		relocs, err = loadRelocTable(dir)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	if store.ObjsPerPage() != opts.ObjsPerPage || store.NumPages() != opts.NumPages {
 		opts.ObjsPerPage = store.ObjsPerPage()
 		opts.NumPages = store.NumPages()
+	}
+	userPages := opts.NumPages
+	if relocs != nil {
+		userPages -= int(relocs.spare)
+		if userPages <= 0 {
+			store.Close()
+			return nil, fmt.Errorf("live: %s claims %d spare pages but the store has only %d", relocFile, relocs.spare, opts.NumPages)
+		}
 	}
 
 	// Redo recovery: one scan finds the append offset, the checkpoint
@@ -522,6 +614,29 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		store.Close()
 		wal.Close()
 		return nil, fmt.Errorf("live: recovery failed: %w", err)
+	}
+	// Relocation replay: fold every logged migration into the table, in
+	// log order, and make the result durable BEFORE the log is truncated.
+	// Records below a checkpoint watermark are already in the relocs.db
+	// base (the checkpoint snapshots the table at its watermark), so
+	// re-applying them is idempotent over that base.
+	for _, rec := range scan.recs {
+		if len(rec.Relocs) == 0 {
+			continue
+		}
+		if relocs == nil {
+			store.Close()
+			wal.Close()
+			return nil, fmt.Errorf("live: WAL holds relocation records but %s is missing", relocFile)
+		}
+		relocs.applyAll(rec.Relocs)
+	}
+	if relocs != nil && relocs.size() > 0 {
+		if err := relocs.save(dir); err != nil {
+			store.Close()
+			wal.Close()
+			return nil, err
+		}
 	}
 	if err := wal.Truncate(); err != nil {
 		store.Close()
@@ -547,8 +662,14 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		flight:     obs.NewFlightRecorder(opts.BlackboxDir, opts.BlackboxMax),
 		store:      store,
 		wal:        wal,
+		dir:        dir,
+		relocs:     relocs,
+		userPages:  userPages,
 		recovery:   recov,
 		blockStart: make(map[core.TxnID]time.Time),
+	}
+	if relocs != nil {
+		s.fences = newFenceSet()
 	}
 	s.heat.SetEnabled(opts.Heat)
 	s.heat.RegisterMetrics(reg)
@@ -597,6 +718,12 @@ func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 		s.dlStop = make(chan struct{})
 		s.dlDone = make(chan struct{})
 		go s.deadlockLoop()
+	}
+	if opts.Recluster && s.relocs != nil && s.relocs.spare > 0 {
+		if err := s.startRecluster(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -693,9 +820,11 @@ func (s *Server) stopDetectorLocked() {
 // Proto returns the server's protocol.
 func (s *Server) Proto() core.Protocol { return s.opts.Proto }
 
-// Geometry returns (numPages, objsPerPage, objSize).
+// Geometry returns the client-visible (numPages, objsPerPage, objSize).
+// With reclustering the store carries a spare region past numPages that
+// only migrations address; clients reach it solely through redirects.
 func (s *Server) Geometry() (int, int, int) {
-	return s.store.NumPages(), s.store.ObjsPerPage(), s.store.ObjSize()
+	return s.userPages, s.store.ObjsPerPage(), s.store.ObjSize()
 }
 
 // Sessions returns the number of attached client sessions.
@@ -747,6 +876,19 @@ func (s *Server) FlightDump(reason string) (string, error) {
 // Attach registers a new client session over conn and starts serving it.
 // It returns the client id assigned to the session.
 func (s *Server) Attach(conn Conn) (core.ClientID, error) {
+	return s.attach(conn, false)
+}
+
+// attachInternal registers the reclustering planner's session: its hello
+// advertises the PHYSICAL page count (the spare region included, since
+// migrations write there directly), it bypasses the relocation front
+// door, and every shard engine marks it a system client so its commits
+// and aborts stay out of user-facing stats. One at a time.
+func (s *Server) attachInternal(conn Conn) (core.ClientID, error) {
+	return s.attach(conn, true)
+}
+
+func (s *Server) attach(conn Conn, internal bool) (core.ClientID, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -766,8 +908,18 @@ func (s *Server) Attach(conn Conn) (core.ClientID, error) {
 	go sess.writer()
 	s.mu.Unlock()
 
-	// Handshake: tell the client its id, the geometry, and the protocol.
 	pages, opp, objSize := s.Geometry()
+	if internal {
+		pages = s.store.NumPages()
+		for _, sh := range s.shards {
+			held := s.lockShard(sh)
+			sh.eng.SetSystemClient(id, true)
+			s.unlockShard(sh, held)
+		}
+		s.internalID.Store(int64(id))
+	}
+
+	// Handshake: tell the client its id, the geometry, and the protocol.
 	hello := &core.Msg{Kind: core.MHello, To: id, HelloID: id,
 		HelloPages: int32(pages), HelloObjsPP: int32(opp), HelloObjSize: int32(objSize),
 		HelloProto: s.opts.Proto, HelloVariable: s.opts.VariableObjects}
@@ -915,16 +1067,33 @@ func (s *Server) handle(sess *session, m *core.Msg, recvAt time.Time) {
 	// Encode the commit's WAL frame before taking any lock: the record
 	// body is a pure function of the request, and encoding is the
 	// expensive half of an append.
+	// Relocations on a commit are the planner's privilege: they arrive
+	// only over the in-process internal session (the wire codec does not
+	// carry them), and anything else claiming some is stripped.
+	if len(m.Relocs) > 0 && int64(m.From) != s.internalID.Load() {
+		m.Relocs = nil
+	}
+
 	var rec *walRecord
 	var frame []byte
 	var queueDur, encodeDur time.Duration
 	if m.Kind == core.MCommitReq && len(m.Updates) > 0 {
 		encStart := time.Now()
 		queueDur = encStart.Sub(recvAt)
-		rec = &walRecord{Txn: m.Txn, Client: m.From, Commit: true}
+		rec = &walRecord{Txn: m.Txn, Client: m.From, Commit: true, Relocs: m.Relocs}
+		view := s.relocs.view()
 		for _, o := range sortedUpdateKeys(m.Updates) {
+			img := m.Updates[o]
+			if to, ok := view.lookup(o); ok {
+				// A blind write to a retired address (a PS page grant taken
+				// before the move allows writes with no further request):
+				// install at the object's current placement, where readers
+				// are redirected. The engine's finish step still sees the
+				// original address — that is where the locks live.
+				o = to
+			}
 			rec.Objs = append(rec.Objs, o)
-			rec.Images = append(rec.Images, m.Updates[o])
+			rec.Images = append(rec.Images, img)
 		}
 		frame = encodeWALFrame(rec)
 		encodeDur = time.Since(encStart)
@@ -976,6 +1145,34 @@ func (s *Server) engineStep(sess *session, sh *engineShard, m *core.Msg) {
 		s.unlockShard(sh, held)
 		return
 	}
+
+	// Relocation front door. A user read/write of a fenced (mid-migration)
+	// object bounces with an empty MRelocated (retry shortly) so a
+	// migration's lock request never chases a growing FIFO queue; a
+	// request for a retired address answers with a redirect to its current
+	// placement. Both checks run under the object's shard lock — the same
+	// lock a migration commit holds while installing its relocations and
+	// lifting its fences — so a request observes either the complete
+	// pre-move state or the complete post-move state. The planner's own
+	// session bypasses the door (it addresses spare slots directly), and
+	// disabled reclustering costs one nil check.
+	if s.relocs != nil && (m.Kind == core.MReadReq || m.Kind == core.MWriteReq) &&
+		int64(m.From) != s.internalID.Load() {
+		if s.fences.blocked(m.Obj) {
+			s.unlockShard(sh, held)
+			s.metrics.reclusterFenceBounces.Inc()
+			sess.enqueue(core.Msg{Kind: core.MRelocated, To: m.From, Req: m.Req, Txn: m.Txn, Obj: m.Obj})
+			return
+		}
+		if to, ok := s.relocs.view().lookup(m.Obj); ok {
+			s.unlockShard(sh, held)
+			s.metrics.reclusterRedirects.Inc()
+			sess.enqueue(core.Msg{Kind: core.MRelocated, To: m.From, Req: m.Req, Txn: m.Txn,
+				Obj: m.Obj, Objs: []core.ObjID{to}})
+			return
+		}
+	}
+
 	staged, overflow := s.stage(sh.eng.Handle(m))
 
 	// Callback-deadline bookkeeping, after the engine step: any ack
@@ -1033,6 +1230,15 @@ func (s *Server) engineStep(sess *session, sh *engineShard, m *core.Msg) {
 // commit's handleNs honest (processing time, not fsync scheduling).
 func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame []byte, queueDur, encodeDur time.Duration) (syncWait time.Duration) {
 	mask := s.txnMask(sess, m)
+	if rec != nil && len(s.shards) > 1 {
+		// Relocation-aware installs may land on pages the request never
+		// named (a translated blind write, or a migration's destination):
+		// their shards' locks must be part of the append+install's
+		// canonical set too.
+		for _, o := range rec.Objs {
+			mask |= 1 << uint(s.shardIdx(o.Page))
+		}
+	}
 
 	if frame != nil {
 		s.observeStage(obs.StageQueue, m.Txn, m.From, queueDur)
@@ -1166,6 +1372,14 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 	}
 	appended := time.Now()
 	s.observeStage(obs.StageAppend, rec.Txn, rec.Client, appended.Sub(locked))
+	if len(rec.Relocs) > 0 {
+		if err := cpReclusterMidMove.Check(); err != nil {
+			s.installMu.RUnlock()
+			unlockAll()
+			s.crash(err)
+			return 0, 0, false
+		}
+	}
 	for i, o := range rec.Objs {
 		if err := s.store.WriteObj(o, rec.Images[i]); err != nil {
 			if s.closedFlag.Load() {
@@ -1177,6 +1391,21 @@ func (s *Server) appendAndInstall(sess *session, mask uint64, rec *walRecord, fr
 			}
 			panic(fmt.Sprintf("live: commit install failed: %v", err))
 		}
+	}
+	if len(rec.Relocs) > 0 {
+		// Publish the relocations and lift the fences while the write
+		// set's shard locks (and installMu) are still held: a front-door
+		// check for any moved object serializes on its shard lock, and a
+		// checkpoint's relocs.db snapshot serializes on installMu, so
+		// redirects become visible atomically with the installed bytes
+		// and the table never runs ahead of the log.
+		s.relocs.applyAll(rec.Relocs)
+		froms := make([]core.ObjID, len(rec.Relocs))
+		for i, r := range rec.Relocs {
+			froms[i] = r.From
+		}
+		s.fences.remove(froms)
+		s.metrics.reclusterMoves.Add(int64(len(rec.Relocs)))
 	}
 	s.observeStage(obs.StageInstall, rec.Txn, rec.Client, time.Since(appended))
 	s.installMu.RUnlock()
@@ -1311,6 +1540,16 @@ func (s *Server) stage(outs []core.Msg) (staged []stagedPayload, overflow []core
 		e := &outEntry{msg: om}
 		switch om.Kind {
 		case core.MPageData, core.MObjData:
+			if om.Kind == core.MPageData && s.relocs != nil {
+				// A granted page may carry retired (moved-away-from) slots:
+				// mark them unavailable so the client's cached copy routes
+				// their reads back to the server, which redirects. Staged
+				// under the emitting shard's lock, so the marks match the
+				// relocation state the grant was decided under.
+				if ret := s.relocs.view().retiredSlots(om.Page); len(ret) > 0 {
+					e.msg.Unavail = append(append([]uint16(nil), e.msg.Unavail...), ret...)
+				}
+			}
 			staged = append(staged, stagedPayload{sess, e})
 		case core.MCallback:
 			if s.opts.CallbackTimeout > 0 {
@@ -1478,10 +1717,19 @@ func (s *Server) Checkpoint() error {
 	start := time.Now()
 
 	var watermark int64
+	var relocSnap []byte
 	flushed := 0
 	if st, fixed := s.store.(*Store); fixed {
 		s.installMu.Lock()
 		watermark = s.wal.tail()
+		if s.relocs != nil {
+			// Snapshot the relocation table at the watermark, under
+			// installMu exclusive: migrations apply their relocations under
+			// installMu shared (with their append), so this snapshot covers
+			// exactly the records below W — never a relocation whose record
+			// (and installs) could die unsynced with the crash.
+			relocSnap = s.relocs.encode()
+		}
 		s.installMu.Unlock()
 		if err := s.wal.ForceTo(watermark); err != nil {
 			if fault.IsCrash(err) {
@@ -1506,6 +1754,9 @@ func (s *Server) Checkpoint() error {
 	} else {
 		s.installMu.Lock()
 		watermark = s.wal.tail()
+		if s.relocs != nil {
+			relocSnap = s.relocs.encode()
+		}
 		// Installs are excluded for the whole stop-world flush, so forcing
 		// through W covers every record that could be in a flushed page.
 		err := s.wal.ForceTo(watermark)
@@ -1522,6 +1773,17 @@ func (s *Server) Checkpoint() error {
 		}
 	}
 	s.metrics.flushPages.Add(int64(flushed))
+	if relocSnap != nil {
+		// The watermark retires the log prefix holding these relocations'
+		// records; the base file must cover them first (write-ahead for
+		// the side file).
+		if err := writeRelocFile(s.dir, relocSnap); err != nil {
+			if fault.IsCrash(err) {
+				s.crash(err)
+			}
+			return err
+		}
+	}
 	if err := cpCheckpointMid.Check(); err != nil {
 		s.crash(err)
 		return err
@@ -1580,6 +1842,7 @@ func (s *Server) crashLocked(cause error) {
 	s.stopWatchdogLocked()
 	s.stopDetectorLocked()
 	s.stopHeatLocked()
+	s.stopReclusterLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -1616,6 +1879,9 @@ func (s *Server) Crash() error {
 	if s.heatDone != nil {
 		<-s.heatDone
 	}
+	if s.recl != nil {
+		<-s.recl.done
+	}
 	return failed
 }
 
@@ -1639,6 +1905,7 @@ func (s *Server) Close() error {
 	s.stopWatchdogLocked()
 	s.stopDetectorLocked()
 	s.stopHeatLocked()
+	s.stopReclusterLocked()
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -1660,13 +1927,26 @@ func (s *Server) Close() error {
 	if s.heatDone != nil {
 		<-s.heatDone
 	}
+	if s.recl != nil {
+		<-s.recl.done
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var firstErr error
+	if s.relocs != nil {
+		// The clean-shutdown contract makes the log redundant; that now
+		// includes its relocation records, so the side file must be
+		// current before the truncate below.
+		if err := s.relocs.save(s.dir); err != nil {
+			firstErr = err
+		}
+	}
 	if err := s.store.Close(); err != nil {
-		firstErr = err
-	} else if err := s.wal.Truncate(); err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+	} else if err := s.wal.Truncate(); err != nil && firstErr == nil {
 		// Only truncate once the store is durably flushed.
 		firstErr = err
 	}

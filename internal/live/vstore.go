@@ -36,16 +36,41 @@ type VStore struct {
 	objsPerPage int
 	numPages    int // home pages; overflow pages live beyond
 
-	// mu synchronizes off-lock payload reads with installs. Unlike the
-	// fixed-slot Store's sharded per-page latches, VStore uses one
-	// store-wide RWMutex: an install can compact its page, relocate the
-	// object across the overflow region, and grow the frame table — a
-	// single write may touch several pages plus the frames slice header,
-	// so a per-page latch could not cover it. Readers still share.
-	mu sync.RWMutex
+	// Page latching, hash-sharded like the fixed-slot Store's. The common
+	// operations are page-local — a payload read, an in-place rewrite, a
+	// home-page compaction — and take only the home page's latch (shared
+	// for readers, exclusive for installs), so traffic on disjoint pages
+	// never serializes. A write that must touch more than its home page
+	// (forwarding to the overflow region, freeing or relocating an
+	// overflow placement, growing the frames slice) instead acquires all
+	// latch shards in index order, which excludes every page-local
+	// operation at once; overflow pages therefore mutate only under the
+	// full sweep, and a reader chasing a forward pointer needs no second
+	// latch — its shared home latch already excludes any writer that
+	// could reach the target.
+	latches pageLatches
 
 	frames [][]byte // encoded page payloads, including overflow pages
 	dirty  []bool
+}
+
+func (s *VStore) latch(page int) *sync.RWMutex {
+	return s.latches.shard(core.PageID(page))
+}
+
+// lockAll acquires every latch shard exclusively, in index order (the
+// fixed order makes concurrent sweeps deadlock-free). It fences the whole
+// store for the multi-page write paths.
+func (s *VStore) lockAll() {
+	for i := range s.latches {
+		s.latches[i].Lock()
+	}
+}
+
+func (s *VStore) unlockAll() {
+	for i := len(s.latches) - 1; i >= 0; i-- {
+		s.latches[i].Unlock()
+	}
 }
 
 const (
@@ -305,15 +330,17 @@ func (s *VStore) writeFwd(frame []byte, off int, a objAddr) {
 }
 
 // ReadVObj returns the current bytes of the object (nil if never
-// written). Safe to call without the server lock: the store-wide read
-// latch excludes concurrent installs.
+// written). Safe to call without the server lock: the shared home latch
+// excludes same-page installs, and the multi-page writers (which are the
+// only ones that can touch an overflow target) hold every latch shard.
 func (s *VStore) ReadVObj(page, slot int) ([]byte, error) {
 	home := objAddr{page, slot}
 	if err := s.checkHome(home); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	l := s.latch(home.page)
+	l.RLock()
+	defer l.RUnlock()
 	frame := s.frames[home.page]
 	off, ln := s.slotAt(frame, home.slot)
 	if off == slotEmpty {
@@ -334,15 +361,21 @@ func (s *VStore) ReadVObj(page, slot int) ([]byte, error) {
 // IsForwarded reports whether the object currently lives in the overflow
 // region (diagnostics and tests).
 func (s *VStore) IsForwarded(page, slot int) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	l := s.latch(page)
+	l.RLock()
+	defer l.RUnlock()
 	off, ln := s.slotAt(s.frames[page], slot)
 	return off != slotEmpty && ln == fwdLen
 }
 
 // WriteVObj installs a new value for the object, relocating as needed.
-// The exclusive store latch fences every page it may touch (home,
-// overflow, frame-table growth) against off-lock payload readers.
+// The common case — the object is not forwarded and the new value fits
+// its home page (in place or after a home-page compaction) — runs under
+// only the home page's exclusive latch, so installs on disjoint pages
+// proceed in parallel. Anything that must touch a second page (forwarded
+// source or target, overflow allocation or free, frame table growth)
+// falls through to the full latch sweep, which fences every page at
+// once.
 func (s *VStore) WriteVObj(page, slot int, data []byte) error {
 	home := objAddr{page, slot}
 	if err := s.checkHome(home); err != nil {
@@ -351,10 +384,47 @@ func (s *VStore) WriteVObj(page, slot int, data []byte) error {
 	if len(data) > s.MaxObjSize() {
 		return fmt.Errorf("live: object %d bytes exceeds max %d", len(data), s.MaxObjSize())
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+
+	// Fast path: home-page-only writes under the page latch.
+	l := s.latch(home.page)
+	l.Lock()
 	frame := s.frames[home.page]
 	off, ln := s.slotAt(frame, home.slot)
+	if off == slotEmpty || ln != fwdLen { // no overflow placement to free
+		if off != slotEmpty && len(data) <= ln {
+			copy(frame[off:], data)
+			s.setSlot(frame, home.slot, off, len(data))
+			s.dirty[home.page] = true
+			l.Unlock()
+			return nil
+		}
+		// fitsInline excludes the home slot from the reservation, so the
+		// decision is the same whether the old placement is dropped before
+		// or after — and keeping it until we commit to this path means the
+		// slow path below sees an untouched page if we bail.
+		if s.fitsInline(home.page, home.slot, len(data)) {
+			s.setSlot(frame, home.slot, slotEmpty, 0)
+			newOff := s.allocInPage(home.page, len(data))
+			if newOff < 0 {
+				l.Unlock()
+				return fmt.Errorf("live: internal: reservation admitted %dB but page %d is full", len(data), home.page)
+			}
+			frame = s.frames[home.page] // compaction may have replaced it
+			copy(frame[newOff:], data)
+			s.setSlot(frame, home.slot, newOff, len(data))
+			s.dirty[home.page] = true
+			l.Unlock()
+			return nil
+		}
+	}
+	l.Unlock()
+
+	// Slow path: forwarded placement or overflow required. Re-reads the
+	// slot under the full latch sweep — nothing decided above is trusted.
+	s.lockAll()
+	defer s.unlockAll()
+	frame = s.frames[home.page]
+	off, ln = s.slotAt(frame, home.slot)
 
 	// Drop any existing placement first (the heap hole is reclaimed by a
 	// later compaction) and remember a forwarded target for freeing.
@@ -463,8 +533,10 @@ func (s *VStore) freeSlotIn(p int) int {
 
 // OverflowPages returns the current overflow region size (diagnostics).
 func (s *VStore) OverflowPages() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// Any one shared shard synchronizes with the frame-growth path, which
+	// holds every shard exclusively.
+	s.latches[0].RLock()
+	defer s.latches[0].RUnlock()
 	return len(s.frames) - s.numPages
 }
 

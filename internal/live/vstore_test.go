@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -214,6 +216,162 @@ func TestVStoreRandomizedChurn(t *testing.T) {
 		}
 	}
 	t.Logf("churn done: %d overflow pages", s.OverflowPages())
+}
+
+// TestVStoreForwardedGrowsAgain grows an already-forwarded object so its
+// overflow placement no longer fits: the slow path must free the old
+// placement, allocate a new one, and leave the home page's neighbors
+// untouched.
+func TestVStoreForwardedGrowsAgain(t *testing.T) {
+	s := newVStore(t)
+	big := bytes.Repeat([]byte("A"), s.MaxObjSize()*3/4)
+	if err := s.WriteVObj(4, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{s.MaxObjSize() / 2, s.MaxObjSize() * 7 / 10, s.MaxObjSize()}
+	for i, n := range sizes {
+		v := bytes.Repeat([]byte{byte('B' + i)}, n)
+		if err := s.WriteVObj(4, 1, v); err != nil {
+			t.Fatalf("grow step %d (%dB): %v", i, n, err)
+		}
+		if !s.IsForwarded(4, 1) {
+			t.Fatalf("grow step %d: object should stay forwarded", i)
+		}
+		if got, _ := s.ReadVObj(4, 1); !bytes.Equal(got, v) {
+			t.Fatalf("grow step %d: value wrong", i)
+		}
+		if got, _ := s.ReadVObj(4, 0); !bytes.Equal(got, big) {
+			t.Fatalf("grow step %d: neighbor damaged", i)
+		}
+	}
+	// Shrink home again: the final overflow placement must be freed too
+	// (churn below would otherwise leak pages without bound).
+	before := s.OverflowPages()
+	for i := 0; i < 50; i++ {
+		if err := s.WriteVObj(4, 1, []byte("home")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteVObj(4, 1, bytes.Repeat([]byte("C"), s.MaxObjSize())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.OverflowPages() > before+1 {
+		t.Fatalf("forward/unforward churn leaked overflow pages: %d -> %d", before, s.OverflowPages())
+	}
+}
+
+// TestVStoreConcurrentReadersDuringForwarding runs readers against a
+// writer that pushes one object back and forth across the forwarding
+// threshold (forcing overflow allocs, frees, and home-page compaction).
+// Readers must only ever observe complete values — one of the two the
+// writer alternates — and the victim's neighbor must never be damaged.
+// Run under -race this also proves the narrowed page latches cover the
+// multi-page forwarding paths.
+func TestVStoreConcurrentReadersDuringForwarding(t *testing.T) {
+	s := newVStore(t)
+	small := bytes.Repeat([]byte("s"), 24)
+	huge := bytes.Repeat([]byte("H"), s.MaxObjSize()/2)
+	neighbor := bytes.Repeat([]byte("N"), s.MaxObjSize()*3/4)
+	if err := s.WriteVObj(4, 0, neighbor); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteVObj(4, 1, small); err != nil {
+		t.Fatal(err)
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				got, err := s.ReadVObj(4, 1)
+				if err != nil {
+					report("reader: %v", err)
+					return
+				}
+				if !bytes.Equal(got, small) && !bytes.Equal(got, huge) {
+					report("reader saw torn value (len %d)", len(got))
+					return
+				}
+				if got, _ := s.ReadVObj(4, 0); !bytes.Equal(got, neighbor) {
+					report("neighbor damaged during forwarding churn")
+					return
+				}
+				s.IsForwarded(4, 1) // exercise the probe path too
+			}
+		}()
+	}
+	for i := 0; i < 400; i++ {
+		v := small
+		if i%2 == 0 {
+			v = huge
+		}
+		if err := s.WriteVObj(4, 1, v); err != nil {
+			t.Fatalf("writer step %d: %v", i, err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestVStoreParallelDisjointPages churns every page from its own
+// goroutine — the common case the per-page latches are built for. Each
+// goroutine audits only its own page, so any cross-page interference
+// (compaction bleeding into a neighbor, slot directory races) shows up
+// as a value mismatch or a race report.
+func TestVStoreParallelDisjointPages(t *testing.T) {
+	s := newVStore(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for p := 0; p < s.NumPages(); p++ {
+		wg.Add(1)
+		go func(page int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(page)))
+			shadow := make(map[int][]byte)
+			for step := 0; step < 400; step++ {
+				sl := rng.Intn(s.ObjsPerPage())
+				val := bytes.Repeat([]byte{byte(page*16 + sl)}, 1+rng.Intn(s.MaxObjSize()/2))
+				if err := s.WriteVObj(page, sl, val); err != nil {
+					select {
+					case errs <- fmt.Sprintf("page %d step %d: %v", page, step, err):
+					default:
+					}
+					return
+				}
+				shadow[sl] = val
+				q := rng.Intn(s.ObjsPerPage())
+				got, err := s.ReadVObj(page, q)
+				if err != nil || !bytes.Equal(got, shadow[q]) {
+					select {
+					case errs <- fmt.Sprintf("page %d slot %d mismatch at step %d (%v)", page, q, step, err):
+					default:
+					}
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
 }
 
 func TestVStoreChurnSurvivesReopen(t *testing.T) {

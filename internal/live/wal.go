@@ -71,6 +71,11 @@ type walRecord struct {
 	Objs   []core.ObjID
 	Images [][]byte
 	Commit bool // always true today; reserved for future undo records
+	// Relocs, on a reclustering migration commit, records the old->new
+	// placements this transaction installs. Recovery replays them into the
+	// relocation table serially in log order (chain compression makes the
+	// apply order significant), after the image replay.
+	Relocs []core.RelocEntry
 }
 
 // WAL is an append-only redo log with length+CRC framing and group

@@ -77,6 +77,12 @@ type Config struct {
 	// does. Rotation is deterministic: once when measurement starts and
 	// once at the end of the run.
 	Heat *obs.Heat
+
+	// Layout, when set, overrides Workload.Layout() as the physical object
+	// placement. Reclustering experiments use it to rerun the identical
+	// logical workload against a split layout derived from a previous
+	// run's heat evidence (see RemapWithMoves).
+	Layout *core.Layout
 }
 
 // DefaultConfig returns the Table 1 settings with the given protocol and

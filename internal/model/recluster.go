@@ -1,0 +1,80 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// This file is the simulation side of online reclustering: the live
+// server migrates objects at runtime, while the simulator — whose layout
+// is immutable for a run — models the same decision as a layout rewrite
+// between two runs. A reclustering experiment is therefore three
+// deterministic steps: run the interleaved workload with a heat collector
+// attached, feed the final snapshot to obs.PlanMoves, and rerun the
+// identical logical workload with Config.Layout set to the remapped
+// placement. Both runs share seeds, so the throughput delta is exactly
+// the placement effect.
+
+// RemapWithMoves returns a new layout in which every planned MoveGroup
+// has been applied to l: each group's slots leave their false-sharing
+// suspect page for per-writer destination pages allocated from the spare
+// region starting at page spareStart, mirroring the live reclusterer's
+// placement policy (each writer fills its own open spare page, so no two
+// disjoint writers ever share a destination). The rewrite is a
+// permutation: the logical objects previously placed on the consumed
+// spare slots take over the vacated suspect slots, keeping every physical
+// slot backed by exactly one logical object.
+//
+// Panics if the spare region [spareStart, l.NumPages) cannot hold the
+// planned moves — experiments size it up front — or if a group names a
+// physical slot that no logical object currently occupies.
+func RemapWithMoves(l *core.Layout, groups []obs.MoveGroup, spareStart int) *core.Layout {
+	opp := l.ObjsPerPage
+	remap := make([]core.ObjID, l.NumObjects())
+	inverse := make(map[core.ObjID]int, l.NumObjects())
+	for i := range remap {
+		remap[i] = l.Obj(i)
+		inverse[remap[i]] = i
+	}
+
+	type openPage struct {
+		page core.PageID
+		next int
+	}
+	open := make(map[int32]*openPage)
+	nextSpare := core.PageID(spareStart)
+	for _, g := range groups {
+		for _, slot := range g.Slots {
+			from := core.ObjID{Page: core.PageID(g.Page), Slot: slot}
+			logical, ok := inverse[from]
+			if !ok {
+				panic(fmt.Sprintf("model: no logical object at %v", from))
+			}
+			op := open[g.Writer]
+			if op == nil || op.next >= opp {
+				if int(nextSpare) >= l.NumPages {
+					panic("model: spare region exhausted; grow DBPages past spareStart")
+				}
+				op = &openPage{page: nextSpare}
+				nextSpare++
+				open[g.Writer] = op
+			}
+			to := core.ObjID{Page: op.page, Slot: uint16(op.next)}
+			op.next++
+			displaced, ok := inverse[to]
+			if !ok {
+				panic(fmt.Sprintf("model: no logical object at spare slot %v", to))
+			}
+			// Swap: the mover takes the spare slot; whatever logical object
+			// was mapped there inherits the vacated suspect slot.
+			remap[logical], remap[displaced] = to, from
+			inverse[to], inverse[from] = logical, displaced
+		}
+	}
+
+	out := core.NewLayout(l.NumPages, l.ObjsPerPage)
+	out.SetRemap(remap)
+	return out
+}

@@ -84,12 +84,16 @@ func Run(cfg Config) *Results {
 }
 
 func build(cfg Config) *system {
+	layout := cfg.Layout
+	if layout == nil {
+		layout = cfg.Workload.Layout()
+	}
 	eng := sim.NewEngine()
 	sys := &system{
 		cfg:    cfg,
 		eng:    eng,
 		net:    sim.NewNetwork(eng, cfg.NetworkMbps),
-		layout: cfg.Workload.Layout(),
+		layout: layout,
 		res: &Results{
 			Proto:     cfg.Proto,
 			Workload:  cfg.Workload.Kind.String(),

@@ -84,6 +84,10 @@ type heatShard struct {
 	// (slot >= 63 collapses to bit 63, which can only under-report
 	// disjointness, never invent it).
 	fs map[int32]map[int32]uint64
+	// prevFS is the previous epoch's writer sets, retained one epoch so a
+	// snapshot taken just after a rotation still carries concrete
+	// writer->slot evidence for the reclustering planner.
+	prevFS map[int32]map[int32]uint64
 	// fsScore maps page -> decayed false-sharing state across epochs.
 	fsScore map[int32]*fsState
 }
@@ -346,6 +350,7 @@ func (h *Heat) Rotate() {
 				delete(sh.fsScore, page)
 			}
 		}
+		sh.prevFS = sh.fs
 		sh.fs = make(map[int32]map[int32]uint64)
 		sh.mu.Unlock()
 	}
@@ -364,12 +369,17 @@ type HeatEntry struct {
 	Err    int64 `json:"err"`
 }
 
-// FSSuspect is one page's decayed false-sharing score.
+// FSSuspect is one page's decayed false-sharing score. WriterSlots is the
+// concrete evidence behind the score: for each writer (client) seen in the
+// current or previous epoch, the bitmask of slots it wrote (slot >= 63
+// collapses to bit 63). The reclustering planner consumes it to decide
+// which writer's objects to migrate where.
 type FSSuspect struct {
-	Page    int32   `json:"page"`
-	Score   float64 `json:"score"`
-	Writers int     `json:"writers"`
-	Epochs  int     `json:"epochs"`
+	Page        int32            `json:"page"`
+	Score       float64          `json:"score"`
+	Writers     int              `json:"writers"`
+	Epochs      int              `json:"epochs"`
+	WriterSlots map[int32]uint64 `json:"writer_slots,omitempty"`
 }
 
 // HeatSnapshot is a merged view across collector shards: the global top-K
@@ -460,9 +470,26 @@ func (h *Heat) Snapshot() *HeatSnapshot {
 			blocked = append(blocked, HeatEntry{Page: int32(e.key), Slot: -1,
 				Writes: e.writes, Count: e.total(), Err: e.errc})
 		}
+		// writerEvidence merges a page's writer->slot masks from the live
+		// epoch and the retained previous epoch (nil when neither saw
+		// multi-writer traffic), so suspects carry actionable evidence no
+		// matter where in the epoch the snapshot lands.
+		writerEvidence := func(page int32) map[int32]uint64 {
+			var out map[int32]uint64
+			for _, src := range []map[int32]map[int32]uint64{sh.prevFS, sh.fs} {
+				for w, mask := range src[page] {
+					if out == nil {
+						out = make(map[int32]uint64, len(src[page]))
+					}
+					out[w] |= mask
+				}
+			}
+			return out
+		}
 		for page, st := range sh.fsScore {
 			sn.FalseSharing = append(sn.FalseSharing, FSSuspect{
-				Page: page, Score: st.score, Writers: st.writers, Epochs: st.epochs})
+				Page: page, Score: st.score, Writers: st.writers, Epochs: st.epochs,
+				WriterSlots: writerEvidence(page)})
 		}
 		// The live epoch's writer sets count too: a snapshot taken before
 		// the first rotation should already implicate pages under attack.
@@ -482,7 +509,8 @@ func (h *Heat) Snapshot() *HeatSnapshot {
 				}
 				if !found {
 					sn.FalseSharing = append(sn.FalseSharing, FSSuspect{
-						Page: page, Score: score, Writers: len(writers)})
+						Page: page, Score: score, Writers: len(writers),
+						WriterSlots: writerEvidence(page)})
 				}
 			}
 		}

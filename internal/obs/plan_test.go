@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func snapWith(suspects ...FSSuspect) *HeatSnapshot {
+	return &HeatSnapshot{Threshold: 0.5, FalseSharing: suspects}
+}
+
+func TestPlanMovesKeepsLargestWriter(t *testing.T) {
+	sn := snapWith(FSSuspect{
+		Page: 7, Score: 1.0,
+		WriterSlots: map[int32]uint64{
+			1: 0b0000_1111, // 4 slots — keeper
+			2: 0b0011_0000, // 2 slots — moves
+		},
+	})
+	got := PlanMoves(sn, PlanOptions{})
+	want := []MoveGroup{{Page: 7, Writer: 2, Slots: []uint16{4, 5}, Score: 1.0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanMovesSharedSlotsStay(t *testing.T) {
+	// Slot 3 is written by both — true sharing — so it must not appear in
+	// any group even though writer 2 loses the page.
+	sn := snapWith(FSSuspect{
+		Page: 2, Score: 0.9,
+		WriterSlots: map[int32]uint64{
+			1: 0b0000_1111,
+			2: 0b0011_1000, // slot 3 shared with writer 1
+		},
+	})
+	got := PlanMoves(sn, PlanOptions{})
+	want := []MoveGroup{{Page: 2, Writer: 2, Slots: []uint16{4, 5}, Score: 0.9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanMovesThreeWriters(t *testing.T) {
+	sn := snapWith(FSSuspect{
+		Page: 5, Score: 1.0,
+		WriterSlots: map[int32]uint64{
+			3: 0b111 << 0, // 3 slots — keeper
+			4: 0b11 << 3,
+			5: 0b11 << 5,
+		},
+	})
+	got := PlanMoves(sn, PlanOptions{})
+	want := []MoveGroup{
+		{Page: 5, Writer: 4, Slots: []uint16{3, 4}, Score: 1.0},
+		{Page: 5, Writer: 5, Slots: []uint16{5, 6}, Score: 1.0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanMovesFiltersAndCaps(t *testing.T) {
+	sn := snapWith(
+		FSSuspect{Page: 1, Score: 0.4, // below threshold
+			WriterSlots: map[int32]uint64{1: 1, 2: 2}},
+		FSSuspect{Page: 90, Score: 1.0, // spare page (>= UserPages)
+			WriterSlots: map[int32]uint64{1: 1, 2: 2}},
+		FSSuspect{Page: 3, Score: 0.8, // hotter — planned first
+			WriterSlots: map[int32]uint64{1: 0b1111, 2: 0b1111_0000}},
+		FSSuspect{Page: 4, Score: 0.6,
+			WriterSlots: map[int32]uint64{1: 0b11, 2: 0b1100}},
+	)
+	got := PlanMoves(sn, PlanOptions{UserPages: 80, MaxMoves: 5})
+	want := []MoveGroup{
+		{Page: 3, Writer: 2, Slots: []uint16{4, 5, 6, 7}, Score: 0.8},
+		{Page: 4, Writer: 2, Slots: []uint16{2}, Score: 0.6}, // truncated by the cap
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+	if n := PlannedObjects(got); n != 5 {
+		t.Fatalf("PlannedObjects = %d, want 5", n)
+	}
+}
+
+// TestPlanMovesExcludeFreesBudget models the round after a partial split:
+// heat evidence still lists the migrated slots, but they must neither be
+// replanned nor charged against MaxMoves, or successive paced rounds stall
+// on stale evidence and never finish splitting the page.
+func TestPlanMovesExcludeFreesBudget(t *testing.T) {
+	sn := snapWith(
+		FSSuspect{Page: 3, Score: 0.8, // hotter: planned first
+			WriterSlots: map[int32]uint64{1: 0b1111, 2: 0b1111_0000}},
+		FSSuspect{Page: 4, Score: 0.6,
+			WriterSlots: map[int32]uint64{1: 0b11, 2: 0b1100}},
+	)
+	// Page 3's movers (slots 4..7) already migrated in an earlier round.
+	migrated := func(page int32, slot uint16) bool { return page == 3 && slot >= 4 }
+	got := PlanMoves(sn, PlanOptions{MaxMoves: 4, Exclude: migrated})
+	want := []MoveGroup{{Page: 4, Writer: 2, Slots: []uint16{2, 3}, Score: 0.6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+}
+
+func TestPlanMovesSkipsBit63Ambiguity(t *testing.T) {
+	s := FSSuspect{Page: 6, Score: 1.0,
+		WriterSlots: map[int32]uint64{1: 1 << 63, 2: 0b11}}
+	// 100 objects per page: bit 63 could be any of slots 63..99 — skip.
+	if got := PlanMoves(snapWith(s), PlanOptions{ObjsPerPage: 100}); len(got) != 0 {
+		t.Fatalf("ambiguous page planned: %+v", got)
+	}
+	// 64 objects per page: bit 63 IS slot 63 — plan it. Writer 2 holds
+	// more slots and keeps the page; writer 1's slot 63 moves.
+	got := PlanMoves(snapWith(s), PlanOptions{ObjsPerPage: 64})
+	want := []MoveGroup{{Page: 6, Writer: 1, Slots: []uint16{63}, Score: 1.0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanMoves = %+v, want %+v", got, want)
+	}
+}
+
+// TestSnapshotWriterSlots proves the heat collector carries concrete
+// writer evidence across a rotation: the planner must be able to act on a
+// snapshot taken right after Rotate cleared the live epoch.
+func TestSnapshotWriterSlots(t *testing.T) {
+	h := NewHeat(HeatOptions{})
+	h.SetEnabled(true)
+	for i := 0; i < 8; i++ {
+		h.RecordAccess(1, 9, int32(i), true)
+		h.RecordAccess(2, 9, int32(10+i), true)
+	}
+	h.Rotate() // evidence now lives only in prevFS
+
+	sn := h.Snapshot()
+	var suspect *FSSuspect
+	for i := range sn.FalseSharing {
+		if sn.FalseSharing[i].Page == 9 {
+			suspect = &sn.FalseSharing[i]
+		}
+	}
+	if suspect == nil {
+		t.Fatal("page 9 not reported as a suspect after rotation")
+	}
+	if suspect.WriterSlots[1] != 0xFF || suspect.WriterSlots[2] != 0xFF<<10 {
+		t.Fatalf("writer evidence lost across rotation: %+v", suspect.WriterSlots)
+	}
+	groups := PlanMoves(sn, PlanOptions{})
+	if len(groups) != 1 || groups[0].Page != 9 {
+		t.Fatalf("planner could not act on post-rotation snapshot: %+v", groups)
+	}
+}

@@ -175,6 +175,14 @@ type ClusterOptions struct {
 	// (top-K hot pages and objects, false-sharing suspects; see
 	// Server.Heat and the /heatz admin endpoint).
 	Heat bool
+	// Recluster enables online reclustering: spare pages are reserved at
+	// store creation and a background planner migrates objects off
+	// false-sharing suspect pages (implies Heat; see ServerOptions and
+	// the /reclusterz admin endpoint).
+	Recluster bool
+	// ReclusterEvery is the recluster planner's polling period
+	// (0: the server default). See ServerOptions.ReclusterEvery.
+	ReclusterEvery time.Duration
 	// BlackboxDir, when set, writes crash blackboxes (trace ring + heat
 	// snapshot + commit spans + metrics as JSONL) into this directory on
 	// a server panic or fail-stop. See ServerOptions.BlackboxDir.
@@ -205,6 +213,8 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		CallbackTimeout: opts.CallbackTimeout,
 		Metrics:         opts.Metrics,
 		Heat:            opts.Heat,
+		Recluster:       opts.Recluster,
+		ReclusterEvery:  opts.ReclusterEvery,
 		BlackboxDir:     opts.BlackboxDir,
 	})
 	if err != nil {
