@@ -8,6 +8,7 @@
 //	oodbbench -proto PS-AA -clients 8 -txns 500 -hot            # in-process
 //	oodbbench -proto PS-AA -clients 8 -txns 500 -hot -heat      # + heat summary
 //	oodbbench -addr 127.0.0.1:7090 -clients 8 -txns 500         # remote
+//	oodbbench -transport reactor -clients 32 -txns 200          # loopback TCP, epoll reactor
 //	oodbbench -proto PS -interleave -recluster -txns 4000       # false-sharing recovery
 package main
 
@@ -39,6 +40,10 @@ func main() {
 	hot := flag.Bool("hot", false, "give each client a private hot region (HOTCOLD-like)")
 	shards := flag.Int("shards", 0,
 		"engine shards for the in-process server (0 = min(8, GOMAXPROCS), honoring OODB_SHARDS)")
+	transport := flag.String("transport", "",
+		"serve the in-process benchmark over loopback TCP with this connection "+
+			"transport (goroutine | reactor) instead of in-memory pipes; "+
+			"ignored with -addr (the remote server chose its own)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	rto := flag.Duration("request-timeout", 0,
 		"per-request deadline for remote clients (0 = wait forever)")
@@ -80,9 +85,12 @@ func main() {
 			fatal(err)
 		}
 		defer os.RemoveAll(dir)
+		if *interleave && *transport != "" {
+			fatal(fmt.Errorf("-interleave is a deterministic in-memory scenario; drop -transport"))
+		}
 		copts := repro.ClusterOptions{
 			Proto: p, Clients: 0, NumPages: *pages, Shards: *shards, Metrics: reg,
-			Heat: *heat, Recluster: *recluster,
+			Heat: *heat, Recluster: *recluster, Transport: *transport,
 		}
 		if *interleave && *recluster {
 			// The scenario triggers its migration rounds explicitly between
@@ -99,11 +107,29 @@ func main() {
 			return
 		}
 		connect = cluster.AttachClient
+		how := "in-memory pipes"
+		if *transport != "" {
+			// Serve a loopback listener with the requested transport and
+			// dial the benchmark clients through it, so the wire layer
+			// under test (reactor or goroutine-per-conn) is on the path.
+			go cluster.Server().ListenAndServe("127.0.0.1:0")
+			deadline := time.Now().Add(5 * time.Second)
+			for cluster.Server().Addr() == "" {
+				if time.Now().After(deadline) {
+					fatal(fmt.Errorf("in-process server never started listening"))
+				}
+				time.Sleep(time.Millisecond)
+			}
+			tcpAddr := cluster.Server().Addr()
+			copts2 := repro.ClientOptions{RequestTimeout: *rto, Metrics: reg}
+			connect = func() (*repro.Client, error) { return repro.DialOpts(tcpAddr, copts2) }
+			how = fmt.Sprintf("loopback TCP, %s transport", cluster.Server().Transport())
+		}
 		statsFn = cluster.Server().Stats
 		heatFn = cluster.Server().Heat
 		numPages, objsPerPage, _ = cluster.Server().Geometry()
-		fmt.Printf("oodbbench: in-process server with %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
-			cluster.Server().NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
+		fmt.Printf("oodbbench: in-process server with %d engine shards over %s (GOMAXPROCS=%d, NumCPU=%d)\n",
+			cluster.Server().NumShards(), how, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	} else {
 		if *interleave {
 			fatal(fmt.Errorf("-interleave needs the in-process server (drop -addr)"))

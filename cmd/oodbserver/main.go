@@ -14,6 +14,16 @@
 //	-pagesize          existing database keeps its on-disk geometry
 //	-nosync            do not fsync the WAL per commit (faster, unsafe:
 //	                   acknowledged commits may be lost on a crash)
+//	-transport         connection transport: goroutine (default; one
+//	                   serve+writer goroutine pair per session) or
+//	                   reactor (epoll event loops, O(loops) goroutines
+//	                   for any session count; Linux only, falls back to
+//	                   goroutine elsewhere); honors OODB_TRANSPORT
+//	-reactor-loops     reactor event loops (0 = min(8, GOMAXPROCS),
+//	                   honoring OODB_REACTOR_LOOPS)
+//	-reactor-drain-cap depose a session whose pending outbound bytes
+//	                   exceed this cap — a reader too slow to drain its
+//	                   socket (0 = default 8 MiB)
 //	-shards            engine shards by page hash (power of two, max 64;
 //	                   0 = min(8, GOMAXPROCS), honoring OODB_SHARDS;
 //	                   1 = the unsharded engine)
@@ -72,6 +82,13 @@ func main() {
 	objsPerPage := flag.Int("objs", 20, "objects per page (creation only)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes (creation only)")
 	noSync := flag.Bool("nosync", false, "do not fsync the WAL per commit (unsafe)")
+	transport := flag.String("transport", "",
+		"connection transport: goroutine | reactor "+
+			"(empty = goroutine, honoring OODB_TRANSPORT)")
+	reactorLoops := flag.Int("reactor-loops", 0,
+		"reactor event loops (0 = min(8, GOMAXPROCS), honoring OODB_REACTOR_LOOPS)")
+	reactorDrainCap := flag.Int("reactor-drain-cap", 0,
+		"depose sessions whose pending outbound bytes exceed this (0 = 8 MiB)")
 	shards := flag.Int("shards", 0,
 		"engine shards by page hash (rounded down to a power of two; "+
 			"0 = min(8, GOMAXPROCS), honoring OODB_SHARDS; 1 = unsharded)")
@@ -114,6 +131,7 @@ func main() {
 		Proto: p, PageSize: *pageSize, ObjsPerPage: *objsPerPage, NumPages: *pages,
 		SyncWAL: !*noSync, GroupCommitWindow: *gcWindow, CallbackTimeout: *cbTimeout,
 		Shards: *shards, RecoveryJobs: *recoveryJobs,
+		Transport: *transport, ReactorLoops: *reactorLoops, ReactorDrainCap: *reactorDrainCap,
 		TraceBuf: *traceSize, Heat: *heat, HeatEpoch: *heatEpoch,
 		Recluster: *recluster, ReclusterEvery: *reclusterEvery,
 		BlackboxDir: *blackboxDir, BlackboxMax: *blackboxMax,
@@ -122,8 +140,8 @@ func main() {
 		fatal(err)
 	}
 	np, opp, osz := srv.Geometry()
-	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each), %d engine shards (GOMAXPROCS=%d, NumCPU=%d)\n",
-		p, *addr, np, opp, osz, srv.NumShards(), runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Printf("oodbserver: %s on %s — %d pages x %d objects (%d B each), %d engine shards, %s transport (GOMAXPROCS=%d, NumCPU=%d)\n",
+		p, *addr, np, opp, osz, srv.NumShards(), srv.Transport(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Printf("oodbserver: telemetry — trace ring %d events, heat=%v", srv.TraceBufSize(), srv.Heat().Enabled())
 	if *blackboxDir != "" {
 		max := *blackboxMax

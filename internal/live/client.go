@@ -313,8 +313,9 @@ func (c *Client) reconnect(cause error) Conn {
 
 	policy := c.opts.Retry.withDefaults()
 	delay := policy.BaseDelay
+	rng := newJitterRand() // private source: reconnect storms must not share a lock
 	for attempt := 1; policy.MaxAttempts <= 0 || attempt <= policy.MaxAttempts; attempt++ {
-		t := time.NewTimer(policy.jittered(delay))
+		t := time.NewTimer(policy.jittered(rng, delay))
 		select {
 		case <-c.closeCh:
 			t.Stop()

@@ -84,6 +84,18 @@ type serverMetrics struct {
 	reclusterPagesSplit   *obs.Counter
 	reclusterRedirects    *obs.Counter
 	reclusterFenceBounces *obs.Counter
+
+	// Reactor transport: epoll_wait returns that carried at least one
+	// event (batches), events delivered across those batches, latency from
+	// a cross-thread wakeup request (Kick, close) to the loop picking it
+	// up, and sessions deposed because their pending write queue exceeded
+	// the drain cap (a slow reader under the reactor's per-connection
+	// byte-queue analogue of the outbox limit). The registered-fd count is
+	// a FuncGauge (registerServerGauges).
+	reactorBatches *obs.Counter
+	reactorEvents  *obs.Counter
+	reactorWakeNs  *obs.Histogram
+	reactorDeposes *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -146,6 +158,14 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		"requests for retired addresses answered with an MRelocated redirect")
 	m.reclusterFenceBounces = reg.Counter("oodb_recluster_fence_bounces_total",
 		"requests bounced off a mid-migration fence (client retries shortly)")
+	m.reactorBatches = reg.Counter("oodb_live_reactor_event_batches_total",
+		"epoll_wait returns that delivered at least one event")
+	m.reactorEvents = reg.Counter("oodb_live_reactor_events_total",
+		"epoll events delivered to reactor loops")
+	m.reactorWakeNs = reg.Histogram("oodb_live_reactor_wake_ns",
+		"latency from a cross-thread loop wakeup request to the loop running it, ns")
+	m.reactorDeposes = reg.Counter("oodb_live_reactor_deposes_total",
+		"sessions deposed for a pending write queue over the drain cap (slow reader)")
 	return m
 }
 
@@ -174,6 +194,13 @@ func (s *Server) registerServerGauges(reg *obs.Registry) {
 		func() int64 { return int64(len(s.sessionMap())) })
 	reg.FuncGauge("oodb_live_shards", "engine shards (page-hash partitions)",
 		func() int64 { return int64(len(s.shards)) })
+	reg.FuncGauge("oodb_live_reactor_fds", "sockets registered with the reactor's event loops",
+		func() int64 {
+			if r := s.reactor.Load(); r != nil {
+				return r.fds.Load()
+			}
+			return 0
+		})
 	reg.FuncGauge("oodb_server_active_txns", "transactions the engine is tracking (multi-shard txns count once per shard)",
 		shardSum(func(e *core.ServerEngine) int64 { return int64(e.ActiveTxns()) }))
 	reg.FuncGauge("oodb_server_blocked_requests", "requests queued behind locks",

@@ -1,0 +1,776 @@
+//go:build linux
+
+package live
+
+// The reactor transport: every TCP session multiplexed onto a small set
+// of epoll event loops, so the server's steady-state goroutine count is
+// O(loops), not O(sessions). The goroutine-per-connection transport costs
+// three goroutines per session (serve + writer + flusher) — fine at the
+// paper's 32 clients, dead at the 10k-100k sessions a page server is
+// supposed to hold (ROADMAP item 1).
+//
+// Topology: one epoll instance per loop, connections assigned round-robin
+// at accept. Sockets are registered EPOLLIN|EPOLLET; each loop does
+// non-blocking reads into a loop-owned scratch buffer, reassembles the
+// 4-byte length-prefixed frames in a pooled per-connection buffer, and
+// delivers messages straight into the server's handler (the receiver
+// callback attach installed). Writes coalesce in a per-connection pending
+// byte queue: session.pump encodes frames into it and tries one
+// non-blocking drain; a short write arms EPOLLOUT and the loop finishes
+// the drain when the socket opens up. A connection whose pending queue
+// exceeds the drain cap is deposed — a reader this slow makes every
+// queued byte dead weight, exactly the outbox-limit argument at the byte
+// level.
+//
+// Edge-trigger invariants (DESIGN.md §17):
+//   - reads always continue to EAGAIN (or requeue themselves) before the
+//     loop moves on, so a level can never be stranded;
+//   - EPOLLOUT is armed only after a write actually returned EAGAIN or
+//     came up short, so the next writability EDGE is guaranteed to be
+//     ahead of us, and a MOD re-reports a condition that already holds;
+//   - cross-thread state changes (Kick, Close) reach the loop through an
+//     op queue plus a self-pipe wakeup, never by touching epoll state the
+//     loop believes it owns.
+//
+// Ownership: a connection belongs to exactly one loop, and its fd lives
+// in that loop's map. Closes execute only on the owning loop (queued as
+// ops), so an fd number can never be recycled while its old registration
+// is still reachable — a stale event for a closed fd misses the map and
+// is dropped. The per-connection processing flag is the belt to those
+// suspenders: even if an event were ever delivered to two workers, one
+// connection still could not occupy both.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+const (
+	// reactorScratch is each loop's read buffer: one syscall's worth of
+	// inbound bytes, shared by every connection on the loop (reads are
+	// loop-serialized, so one buffer suffices).
+	reactorScratch = 64 << 10
+	// reactorMaxReads bounds one connection's consecutive reads per pass.
+	// Edge triggering obliges us to read to EAGAIN, but a firehose sender
+	// must not starve the loop's other connections — past the bound the
+	// connection requeues itself as an op and the loop round-robins.
+	reactorMaxReads = 16
+	// reactorPendingKeep caps the pending-queue capacity a connection
+	// keeps pinned once drained (burst queues go back to the GC).
+	reactorPendingKeep = 256 << 10
+)
+
+var errSlowReader = fmt.Errorf("live: reactor pending queue over drain cap (slow reader)")
+
+// rbufPool recycles per-connection frame-reassembly buffers. A connection
+// holds one only while a partial frame is in flight; between messages the
+// buffer returns here, so 10k idle sessions pin no read memory at all.
+var rbufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16<<10)
+	return &b
+}}
+
+func getRbuf() []byte {
+	bp := rbufPool.Get().(*[]byte)
+	return (*bp)[:0]
+}
+
+func putRbuf(b []byte) {
+	if cap(b) == 0 || cap(b) > readBufKeep {
+		return // oversized by a burst frame: let the GC take it
+	}
+	b = b[:0]
+	rbufPool.Put(&b)
+}
+
+// reactor owns the loops and hands out connections.
+type reactor struct {
+	loops    []*rloop
+	next     atomic.Uint32 // round-robin accept assignment
+	drainCap int
+	m        *serverMetrics
+	onPanic  func(any)
+
+	fds     atomic.Int64 // sockets registered across loops (gauge)
+	stopped atomic.Bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	downOne sync.Once // closes loop fds exactly once, after the loops exit
+}
+
+// newReactor builds and starts the server's event loops. Fails only when
+// the platform shim does (non-Linux stub) or fd creation fails; the
+// caller then falls back to the goroutine transport.
+func newReactor(s *Server) (*reactor, error) {
+	n := s.opts.ReactorLoops
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	r := &reactor{
+		drainCap: s.opts.ReactorDrainCap,
+		m:        s.metrics,
+		onPanic:  s.panicDump,
+		stopCh:   make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		l, err := newRloop(r)
+		if err != nil {
+			r.stop()
+			r.wait()
+			return nil, err
+		}
+		r.loops = append(r.loops, l)
+	}
+	for _, l := range r.loops {
+		r.wg.Add(1)
+		go l.run()
+	}
+	return r, nil
+}
+
+// stop signals every loop to exit. Non-blocking: safe under s.mu and
+// from a loop goroutine itself (crashLocked may run on one).
+func (r *reactor) stop() {
+	if r.stopped.CompareAndSwap(false, true) {
+		close(r.stopCh)
+		for _, l := range r.loops {
+			l.wakeup()
+		}
+	}
+}
+
+// wait joins the loops and then releases their epoll and wake-pipe fds.
+// The fds close strictly after every producer of wakeups is gone (loops
+// joined here; serve goroutines, the watchdog, and the planner joined by
+// the caller), so no write can land on a recycled fd.
+func (r *reactor) wait() {
+	r.wg.Wait()
+	r.downOne.Do(func() {
+		for _, l := range r.loops {
+			syscall.Close(l.ep)
+			syscall.Close(l.wakeR)
+			syscall.Close(l.wakeW)
+		}
+	})
+}
+
+// shutdown stops and joins. Idempotent.
+func (r *reactor) shutdown() {
+	r.stop()
+	r.wait()
+}
+
+// takeover moves an accepted net.Conn's socket under reactor ownership:
+// dup the fd out of the runtime netpoller, close the original, restore
+// non-blocking mode (File() flips it off), and assign a loop. The socket
+// is NOT yet registered with epoll — the caller attaches the session
+// (installing the receiver) first, then calls register, so no event can
+// beat the handlers.
+func (r *reactor) takeover(c net.Conn) (*rconn, error) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return nil, fmt.Errorf("live: reactor takeover needs a TCP conn, got %T", c)
+	}
+	f, err := tc.File()
+	if err != nil {
+		return nil, err
+	}
+	tc.Close()
+	fd := int(f.Fd())
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := r.loops[int(r.next.Add(1))%len(r.loops)]
+	return &rconn{loop: l, fd: fd, f: f, drainCap: r.drainCap}, nil
+}
+
+// ---- event loop ----
+
+type ropKind uint8
+
+const (
+	opKick ropKind = iota // run the session pump
+	opClose
+	opRead // fairness requeue: resume a read pass
+)
+
+type rop struct {
+	kind ropKind
+	c    *rconn
+	at   int64 // UnixNano at enqueue, for the wake-latency histogram
+}
+
+type rloop struct {
+	r     *reactor
+	ep    int
+	wakeR int
+	wakeW int
+
+	// mu guards conns and ops. conns maps registered fds; inserts happen
+	// on handshake goroutines, lookups and removals on the loop. The
+	// mutex doubles as the memory fence publishing a connection's
+	// handlers to the loop.
+	mu    sync.Mutex
+	conns map[int]*rconn
+	ops   []rop
+
+	wakeArmed atomic.Bool
+	scratch   []byte
+	events    []syscall.EpollEvent
+	wakeBuf   [64]byte
+}
+
+func newRloop(r *reactor) (*rloop, error) {
+	ep, err := epollCreate()
+	if err != nil {
+		return nil, err
+	}
+	wr, ww, err := wakePipe()
+	if err != nil {
+		syscall.Close(ep)
+		return nil, err
+	}
+	l := &rloop{
+		r: r, ep: ep, wakeR: wr, wakeW: ww,
+		conns:   make(map[int]*rconn),
+		scratch: make([]byte, reactorScratch),
+		events:  make([]syscall.EpollEvent, 128),
+	}
+	if err := epollAdd(ep, wr, epIn); err != nil { // level-triggered wake
+		syscall.Close(ep)
+		syscall.Close(wr)
+		syscall.Close(ww)
+		return nil, err
+	}
+	return l, nil
+}
+
+// enqueue queues an op for the loop and wakes it.
+func (l *rloop) enqueue(op rop) {
+	l.mu.Lock()
+	l.ops = append(l.ops, op)
+	l.mu.Unlock()
+	l.wakeup()
+}
+
+// wakeup pokes the loop's self-pipe; the armed flag coalesces storms of
+// kicks into at most one in-flight byte.
+func (l *rloop) wakeup() {
+	if l.wakeArmed.CompareAndSwap(false, true) {
+		var one [1]byte
+		syscall.Write(l.wakeW, one[:]) // EAGAIN (pipe full) still wakes
+	}
+}
+
+func (l *rloop) run() {
+	defer l.r.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// A handle-path panic on a loop is the same server bug it
+			// would be on a serve goroutine: blackbox, then die.
+			if l.r.onPanic != nil {
+				l.r.onPanic(r)
+			}
+			panic(r)
+		}
+	}()
+	for {
+		n, err := epollWait(l.ep, l.events)
+		if l.r.stopped.Load() {
+			l.teardownAll()
+			return
+		}
+		if err != nil {
+			// The epoll fd itself failing is unrecoverable for this loop;
+			// close its connections so their sessions detach.
+			l.teardownAll()
+			return
+		}
+		if n > 0 {
+			l.r.m.reactorBatches.Inc()
+			l.r.m.reactorEvents.Add(int64(n))
+		}
+		// Wake/ops first: closes queued for fds in this very batch must
+		// win, so their stale events miss the map below.
+		for i := 0; i < n; i++ {
+			if int(l.events[i].Fd) == l.wakeR {
+				l.drainWake()
+				break
+			}
+		}
+		l.runOps()
+		for i := 0; i < n; i++ {
+			ev := &l.events[i]
+			fd := int(ev.Fd)
+			if fd == l.wakeR {
+				continue
+			}
+			l.mu.Lock()
+			rc := l.conns[fd]
+			l.mu.Unlock()
+			if rc == nil {
+				continue // closed (or recycled) underneath the batch
+			}
+			if ev.Events&(epIn|epErr|epHup) != 0 {
+				// Errors and hangups surface through the read: it returns
+				// 0 or the socket error, and fail() routes the detach.
+				l.readable(rc)
+			}
+			if ev.Events&epOut != 0 {
+				rc.writable()
+			}
+		}
+		l.runOps() // ops enqueued by handlers during this batch
+	}
+}
+
+func (l *rloop) drainWake() {
+	// Clear the armed flag BEFORE draining ops (runOps follows): a
+	// wakeup that CASes false->true after this point writes a fresh byte
+	// and the next epoll_wait sees it; one that lost its CAS to us has
+	// already appended its op, which this pass collects.
+	l.wakeArmed.Store(false)
+	for {
+		n, err := syscall.Read(l.wakeR, l.wakeBuf[:])
+		if n < len(l.wakeBuf) || err != nil {
+			return
+		}
+	}
+}
+
+func (l *rloop) runOps() {
+	l.mu.Lock()
+	ops := l.ops
+	l.ops = nil
+	l.mu.Unlock()
+	now := time.Now().UnixNano()
+	for _, op := range ops {
+		if op.at > 0 {
+			l.r.m.reactorWakeNs.Observe(now - op.at)
+		}
+		switch op.kind {
+		case opKick:
+			op.c.kicked.Store(false)
+			if pump := op.c.pump; pump != nil && !op.c.closed.Load() {
+				pump()
+			}
+		case opClose:
+			l.teardown(op.c)
+		case opRead:
+			l.readable(op.c)
+		}
+	}
+}
+
+// readable drains one connection's socket under the processing flag: if
+// another worker (or a stale cross-loop event) already owns the
+// connection, we record a repoll and leave — one connection never
+// occupies two workers. The owner re-checks repoll after finishing, so
+// the signal cannot be lost.
+func (l *rloop) readable(rc *rconn) {
+	if !rc.processing.CompareAndSwap(false, true) {
+		rc.repoll.Store(true)
+		return
+	}
+	for {
+		rc.readPass(l)
+		rc.processing.Store(false)
+		if !rc.repoll.CompareAndSwap(true, false) {
+			return
+		}
+		if !rc.processing.CompareAndSwap(false, true) {
+			return // the flagger took over
+		}
+	}
+}
+
+// teardownAll closes every connection still owned by the loop (loop
+// exit: reactor stop or epoll failure).
+func (l *rloop) teardownAll() {
+	l.mu.Lock()
+	conns := make([]*rconn, 0, len(l.conns))
+	for _, rc := range l.conns {
+		conns = append(conns, rc)
+	}
+	l.mu.Unlock()
+	for _, rc := range conns {
+		rc.closed.Store(true)
+		l.teardown(rc)
+	}
+}
+
+// teardown executes a connection's close on its owning loop: unregister,
+// release the fd, and deliver the terminal receiver callback (which
+// detaches the session; detach on an already-removed session no-ops).
+func (l *rloop) teardown(rc *rconn) {
+	l.mu.Lock()
+	_, present := l.conns[rc.fd]
+	delete(l.conns, rc.fd)
+	l.mu.Unlock()
+	if !present {
+		return // already torn down (close op + loop-exit sweep)
+	}
+	rc.wmu.Lock()
+	if rc.registered {
+		epollDel(l.ep, rc.fd)
+		rc.registered = false
+		l.r.fds.Add(-1)
+	}
+	rc.pending = nil
+	rc.wmu.Unlock()
+	rc.f.Close()
+	if rc.rbuf != nil {
+		putRbuf(rc.rbuf)
+		rc.rbuf = nil
+	}
+	if rc.recv != nil {
+		err := rc.termErr
+		if err == nil {
+			err = io.EOF
+		}
+		rc.recv(nil, err)
+	}
+}
+
+// ---- connection ----
+
+// rconn is one reactor-owned connection. It implements Conn (and
+// asyncConn): Send appends a frame to the pending queue, Flush attempts a
+// non-blocking drain, Recv reports that the connection is receiver-driven
+// (the server never calls it on an async session).
+type rconn struct {
+	loop     *rloop
+	fd       int
+	f        *os.File // owns the dup'd fd; closed exactly once by teardown
+	drainCap int
+
+	// Handlers, installed by attach before epoll registration publishes
+	// the connection to its loop.
+	recv func(*core.Msg, error)
+	pump func()
+
+	// Read state, touched only inside the processing-flag section.
+	rbuf       []byte
+	processing atomic.Bool
+	repoll     atomic.Bool
+
+	// Write state under wmu: the pending byte queue [woff:], the
+	// EPOLLOUT arming flag, and the sticky error.
+	wmu        sync.Mutex
+	pending    []byte
+	woff       int
+	wantW      bool
+	registered bool
+	werr       error
+
+	kicked  atomic.Bool
+	closed  atomic.Bool
+	termErr error // written before the close op is enqueued
+}
+
+func (rc *rconn) SetHandlers(recv func(*core.Msg, error), pump func()) {
+	rc.recv = recv
+	rc.pump = pump
+}
+
+// Kick schedules the session pump on the owning loop. The CAS coalesces
+// bursts — between the op being queued and run, further kicks are free.
+func (rc *rconn) Kick() {
+	if rc.closed.Load() {
+		return
+	}
+	if rc.kicked.CompareAndSwap(false, true) {
+		rc.loop.enqueue(rop{kind: opKick, c: rc, at: time.Now().UnixNano()})
+	}
+}
+
+// register adds the socket to its loop's epoll set. Called after the
+// session attached; any output already pumped (the hello) keeps EPOLLOUT
+// armed from the start if its flush came up short.
+func (rc *rconn) register() error {
+	l := rc.loop
+	l.mu.Lock()
+	l.conns[rc.fd] = rc
+	l.mu.Unlock()
+	rc.wmu.Lock()
+	events := epIn | epET
+	if rc.wantW {
+		events |= epOut
+	}
+	err := epollAdd(l.ep, rc.fd, events)
+	if err == nil {
+		rc.registered = true
+	}
+	rc.wmu.Unlock()
+	if err != nil {
+		l.mu.Lock()
+		delete(l.conns, rc.fd)
+		l.mu.Unlock()
+		return err
+	}
+	rc.loop.r.fds.Add(1)
+	return nil
+}
+
+// Send encodes m straight into the pending queue (single copy; the frame
+// header is patched after the body lands). The actual syscall happens in
+// Flush or on EPOLLOUT. Exceeding the drain cap deposes the connection:
+// the error is returned AND the close is scheduled, so the pump stops and
+// the session detaches.
+func (rc *rconn) Send(m *core.Msg) error {
+	rc.wmu.Lock()
+	if rc.werr != nil {
+		err := rc.werr
+		rc.wmu.Unlock()
+		return err
+	}
+	old := len(rc.pending)
+	rc.pending = append(rc.pending, 0, 0, 0, 0)
+	rc.pending = appendMsg(rc.pending, m)
+	body := len(rc.pending) - old - 4
+	if body > maxFrame {
+		rc.pending = rc.pending[:old]
+		rc.wmu.Unlock()
+		return fmt.Errorf("live: message exceeds frame limit (%d bytes)", body)
+	}
+	binary.LittleEndian.PutUint32(rc.pending[old:], uint32(body))
+	over := rc.drainCap > 0 && len(rc.pending)-rc.woff > rc.drainCap
+	if over {
+		rc.werr = errSlowReader
+	}
+	rc.wmu.Unlock()
+	if over {
+		rc.loop.r.m.reactorDeposes.Inc()
+		rc.fail(errSlowReader)
+		return errSlowReader
+	}
+	return nil
+}
+
+// Flush drains the pending queue with non-blocking writes; a short write
+// arms EPOLLOUT and the loop finishes the job on the next writability
+// edge.
+func (rc *rconn) Flush() error {
+	rc.wmu.Lock()
+	defer rc.wmu.Unlock()
+	return rc.flushLocked()
+}
+
+func (rc *rconn) flushLocked() error {
+	if rc.werr != nil {
+		return rc.werr
+	}
+	if rc.wantW {
+		return nil // EPOLLOUT armed: the loop owns the drain
+	}
+	for rc.woff < len(rc.pending) {
+		n, err := syscall.Write(rc.fd, rc.pending[rc.woff:])
+		if n > 0 {
+			rc.woff += n
+		}
+		switch err {
+		case nil:
+		case syscall.EAGAIN:
+			rc.armWriteLocked()
+			return nil
+		case syscall.EINTR:
+			// retry
+		default:
+			rc.werr = err
+			rc.scheduleFail(err)
+			return err
+		}
+	}
+	// Fully drained: reset, and drop a burst-grown queue so an idle
+	// session pins at most reactorPendingKeep.
+	if cap(rc.pending) > reactorPendingKeep {
+		rc.pending = nil
+	} else {
+		rc.pending = rc.pending[:0]
+	}
+	rc.woff = 0
+	return nil
+}
+
+// armWriteLocked arms EPOLLOUT (edge-triggered) after a write actually
+// hit EAGAIN — the only ordering under which the next edge is guaranteed
+// to be ahead of us. Pre-registration the flag alone suffices; register
+// folds it into the initial mask.
+func (rc *rconn) armWriteLocked() {
+	if rc.wantW {
+		return
+	}
+	rc.wantW = true
+	if rc.registered {
+		epollMod(rc.loop.ep, rc.fd, epIn|epOut|epET)
+	}
+}
+
+// writable finishes the drain on a writability edge and disarms EPOLLOUT
+// once the queue empties.
+func (rc *rconn) writable() {
+	rc.wmu.Lock()
+	if rc.werr != nil || rc.closed.Load() {
+		rc.wmu.Unlock()
+		return
+	}
+	rc.wantW = false
+	err := rc.flushLocked() // re-arms on another short write
+	if err == nil && !rc.wantW && rc.registered {
+		epollMod(rc.loop.ep, rc.fd, epIn|epET)
+	}
+	rc.wmu.Unlock()
+}
+
+// readPass reads to EAGAIN (or the fairness bound), reassembling and
+// delivering frames. Runs only under the processing flag.
+func (rc *rconn) readPass(l *rloop) {
+	for reads := 0; ; reads++ {
+		if rc.closed.Load() {
+			return
+		}
+		n, err := syscall.Read(rc.fd, l.scratch)
+		if n > 0 {
+			if rc.rbuf == nil {
+				rc.rbuf = getRbuf()
+			}
+			rc.rbuf = append(rc.rbuf, l.scratch[:n]...)
+			if derr := rc.deliver(); derr != nil {
+				rc.fail(derr)
+				return
+			}
+		}
+		switch {
+		case err == syscall.EAGAIN:
+			return
+		case err == syscall.EINTR:
+			continue
+		case err != nil:
+			rc.fail(err)
+			return
+		case n == 0:
+			rc.fail(io.EOF)
+			return
+		}
+		if reads >= reactorMaxReads {
+			// Fairness: let the loop's other connections run; resume via
+			// an op (at=0: a self-requeue is not a cross-thread wake).
+			l.enqueue(rop{kind: opRead, c: rc})
+			return
+		}
+	}
+}
+
+// deliver parses complete frames out of rbuf and hands them to the
+// receiver, then compacts. decodeMsg copies everything it keeps, so the
+// buffer is reusable immediately.
+func (rc *rconn) deliver() error {
+	buf := rc.rbuf
+	off := 0
+	for {
+		if len(buf)-off < 4 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(buf[off:])
+		if n > maxFrame {
+			return fmt.Errorf("live: frame length %d exceeds limit", n)
+		}
+		if len(buf)-off < 4+int(n) {
+			break
+		}
+		m, err := decodeMsg(buf[off+4 : off+4+int(n)])
+		if err != nil {
+			return err
+		}
+		off += 4 + int(n)
+		if rc.recv != nil {
+			rc.recv(m, nil)
+		}
+		if rc.closed.Load() {
+			break // the handler detached us; drop the rest
+		}
+	}
+	if off > 0 {
+		rest := copy(buf, buf[off:])
+		rc.rbuf = buf[:rest]
+	}
+	if len(rc.rbuf) == 0 {
+		putRbuf(rc.rbuf)
+		rc.rbuf = nil
+	}
+	return nil
+}
+
+// Recv is never used on the server's async path; it exists to satisfy
+// Conn.
+func (rc *rconn) Recv() (*core.Msg, error) {
+	return nil, fmt.Errorf("live: reactor conns are receiver-driven")
+}
+
+// Close schedules the connection's teardown on its owning loop.
+func (rc *rconn) Close() error {
+	rc.fail(fmt.Errorf("live: connection closed"))
+	return nil
+}
+
+// fail records the terminal error and queues the close op. First caller
+// wins; the loop delivers exactly one terminal receiver callback.
+func (rc *rconn) fail(err error) {
+	if !rc.closed.CompareAndSwap(false, true) {
+		return
+	}
+	rc.termErr = err // published by the op-queue mutex
+	rc.loop.enqueue(rop{kind: opClose, c: rc, at: time.Now().UnixNano()})
+}
+
+// scheduleFail is fail for callers already holding wmu (werr set there).
+func (rc *rconn) scheduleFail(err error) {
+	if !rc.closed.CompareAndSwap(false, true) {
+		return
+	}
+	rc.termErr = err
+	rc.loop.enqueue(rop{kind: opClose, c: rc, at: time.Now().UnixNano()})
+}
+
+// destroy releases an rconn that was never attached nor registered (the
+// Attach-failed path: no session, no handlers, no ops in flight).
+func (rc *rconn) destroy() {
+	rc.closed.Store(true)
+	rc.f.Close()
+}
+
+// attachReactor runs a handshaken connection on the reactor: take the fd
+// over, attach the session (handlers installed inside), then register
+// with epoll. Registration last means no event can arrive before the
+// session exists; output staged in between (the hello) rides the initial
+// event mask.
+func (s *Server) attachReactor(r *reactor, c net.Conn) {
+	rc, err := r.takeover(c)
+	if err != nil {
+		// Not a TCP socket or the dup failed; the goroutine transport
+		// still serves this connection fine.
+		s.attachGoroutine(c)
+		return
+	}
+	if _, err := s.Attach(rc); err != nil {
+		rc.destroy()
+		return
+	}
+	if err := rc.register(); err != nil {
+		rc.fail(err) // loop delivers the terminal callback -> detach
+	}
+}

@@ -1,0 +1,67 @@
+package live
+
+// The raw epoll shim under the reactor (reactor.go). Stdlib syscall only:
+// the container bakes in no extra modules, and the handful of calls the
+// reactor needs — create, ctl, wait, plus a self-pipe for cross-thread
+// wakeups — have had stable wrappers in package syscall since Go 1.0.
+
+import "syscall"
+
+const (
+	epIn  = uint32(syscall.EPOLLIN)
+	epOut = uint32(syscall.EPOLLOUT)
+	epErr = uint32(syscall.EPOLLERR)
+	epHup = uint32(syscall.EPOLLHUP)
+	// EPOLLET is declared as 0x80000000, which overflows int32 in some
+	// syscall packages' typed views; mask through uint32 explicitly.
+	epET = uint32(1) << 31
+)
+
+// epollCreate returns a new epoll instance.
+func epollCreate() (int, error) {
+	return syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+}
+
+// epollAdd registers fd for events (ORed EPOLL* bits above). The event's
+// data carries the fd itself; conns are resolved through the owning
+// loop's map, so a stale event for a recycled fd simply misses.
+func epollAdd(ep, fd int, events uint32) error {
+	ev := syscall.EpollEvent{Events: events, Fd: int32(fd)}
+	return syscall.EpollCtl(ep, syscall.EPOLL_CTL_ADD, fd, &ev)
+}
+
+// epollMod rearms fd with a new event mask. Under edge triggering a MOD
+// also re-reports a condition that already holds, which is exactly what
+// the write path wants when it arms EPOLLOUT after a short write.
+func epollMod(ep, fd int, events uint32) error {
+	ev := syscall.EpollEvent{Events: events, Fd: int32(fd)}
+	return syscall.EpollCtl(ep, syscall.EPOLL_CTL_MOD, fd, &ev)
+}
+
+// epollDel unregisters fd.
+func epollDel(ep, fd int) error {
+	return syscall.EpollCtl(ep, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+// epollWait blocks for events, retrying EINTR (profiling signals land on
+// the loop threads constantly under -test.cpuprofile).
+func epollWait(ep int, events []syscall.EpollEvent) (int, error) {
+	for {
+		n, err := syscall.EpollWait(ep, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		return n, err
+	}
+}
+
+// wakePipe builds the loop's self-pipe: both ends non-blocking, so a
+// wakeup write when the pipe is full (wake already pending) is a no-op
+// rather than a stall.
+func wakePipe() (r, w int, err error) {
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		return 0, 0, err
+	}
+	return p[0], p[1], nil
+}

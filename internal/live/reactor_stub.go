@@ -1,0 +1,33 @@
+//go:build !linux
+
+package live
+
+// Reactor stub for platforms without epoll. ListenAndServe asks for a
+// reactor, newReactor declines, and the server falls back cleanly to the
+// goroutine-per-connection transport — same Conn semantics, just a
+// per-session goroutine cost. The type exists so the Server struct and
+// the registered-fds gauge compile unchanged.
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+)
+
+type reactor struct {
+	fds atomic.Int64 // always 0: nothing ever registers
+}
+
+func newReactor(s *Server) (*reactor, error) {
+	return nil, fmt.Errorf("live: reactor transport requires epoll (linux)")
+}
+
+func (r *reactor) stop()     {}
+func (r *reactor) wait()     {}
+func (r *reactor) shutdown() {}
+
+// attachReactor is unreachable on this platform (newReactor never
+// succeeds); close the connection defensively if it is ever called.
+func (s *Server) attachReactor(r *reactor, c net.Conn) {
+	c.Close()
+}

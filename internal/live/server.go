@@ -129,7 +129,34 @@ type ServerOptions struct {
 	// (default 64) — the pacing knob keeping migration a background
 	// trickle.
 	ReclusterMaxMoves int
+	// Transport selects how ListenAndServe drives TCP sessions:
+	// TransportGoroutine (the default) runs the classic
+	// goroutine-per-connection loops (reader + writer + flusher per
+	// session); TransportReactor multiplexes every session onto a small
+	// set of epoll event loops — O(loops) goroutines regardless of the
+	// session count, which is what lets one server hold 10k-100k
+	// sessions. Empty honors OODB_TRANSPORT. On platforms without epoll
+	// the reactor falls back to the goroutine transport at listen time.
+	// In-process (Pipe) sessions are unaffected either way.
+	Transport string
+	// ReactorLoops is the reactor's event-loop worker count (0: the
+	// OODB_REACTOR_LOOPS environment variable if set, else
+	// min(8, GOMAXPROCS)).
+	ReactorLoops int
+	// ReactorDrainCap caps one reactor connection's pending outbound
+	// bytes. A client that stops reading while grants and callbacks keep
+	// coalescing into its queue is deposed at the cap instead of growing
+	// server memory without bound — the byte-level analogue of
+	// OutboxLimit. 0 means the default (8 MiB); negative disables the
+	// cap.
+	ReactorDrainCap int
 }
+
+// Transport values for ServerOptions.Transport (and OODB_TRANSPORT).
+const (
+	TransportGoroutine = "goroutine"
+	TransportReactor   = "reactor"
+)
 
 // objectStore abstracts the fixed-slot Store and the variable-size VStore.
 type objectStore interface {
@@ -216,6 +243,28 @@ func (o *ServerOptions) defaults() {
 		if v := os.Getenv("OODB_RECLUSTER"); v == "1" || v == "true" {
 			o.Recluster = true
 		}
+	}
+	if o.Transport == "" {
+		o.Transport = os.Getenv("OODB_TRANSPORT")
+	}
+	if o.Transport == "" {
+		o.Transport = TransportGoroutine
+	}
+	if o.ReactorLoops == 0 {
+		if v := os.Getenv("OODB_REACTOR_LOOPS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				o.ReactorLoops = n
+			}
+		}
+	}
+	if o.ReactorLoops <= 0 {
+		o.ReactorLoops = runtime.GOMAXPROCS(0)
+		if o.ReactorLoops > 8 {
+			o.ReactorLoops = 8
+		}
+	}
+	if o.ReactorDrainCap == 0 {
+		o.ReactorDrainCap = 8 << 20
 	}
 	if o.Recluster {
 		o.Heat = true // the planner is blind without the collector
@@ -344,6 +393,15 @@ type Server struct {
 	wg sync.WaitGroup
 
 	ln net.Listener // optional TCP listener
+
+	// reactor is the epoll transport driving TCP sessions when
+	// Transport == TransportReactor (nil until ListenAndServe, and on
+	// platforms where the reactor is unsupported). transport is the
+	// transport actually in effect for TCP sessions, set at listen time
+	// (it records the fallback when the reactor is unavailable); guarded
+	// by s.mu.
+	reactor   atomic.Pointer[reactor]
+	transport string
 }
 
 // shardIdx maps a page to its owning shard index. The multiplicative
@@ -401,14 +459,23 @@ type session struct {
 
 	// txnShards (write-grant footprint) and txnLastReq (shard of the most
 	// recent read/write request) route commits and aborts to the shards
-	// holding the transaction's state. Touched only by the session's
-	// serve goroutine, so unguarded.
+	// holding the transaction's state. Touched only by the goroutine
+	// delivering this session's messages — the serve goroutine, or for
+	// async sessions the one event loop that owns the connection — so
+	// unguarded.
 	txnShards  map[core.TxnID]uint64
 	txnLastReq map[core.TxnID]uint64
+
+	// async marks a reactor-driven session: no writer goroutine; ready
+	// outbox entries are drained by pump, scheduled on the connection's
+	// event loop via asyncConn.Kick. Set before the session is published,
+	// read-only after.
+	async bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	outbox  []*outEntry
+	pumping bool // async: a pump is mid-batch; keeps drains FIFO
 	closed  bool
 	dropped bool // outbox overflowed; the server is deposing this session
 }
@@ -470,9 +537,23 @@ func (s *session) push(e *outEntry, limit int) (overflow bool) {
 	}
 	s.mu.Unlock()
 	if e.ready {
-		s.cond.Signal()
+		s.wake()
 	}
 	return overflow
+}
+
+// wake tells the shipper that ready output exists: the parked writer
+// goroutine for sync sessions, the connection's event loop for async
+// ones. Kick is a non-blocking atomic flip (plus at most one pipe write),
+// so callers may hold shard locks.
+func (s *session) wake() {
+	if !s.async {
+		s.cond.Signal()
+		return
+	}
+	if ac, ok := s.conn.(asyncConn); ok {
+		ac.Kick()
+	}
 }
 
 // enqueue appends one ready (payload-complete) message.
@@ -485,7 +566,7 @@ func (s *session) markReady(e *outEntry) {
 	s.mu.Lock()
 	e.ready = true
 	s.mu.Unlock()
-	s.cond.Signal()
+	s.wake()
 }
 
 // close stops the writer.
@@ -529,10 +610,59 @@ func (s *session) writer() {
 	}
 }
 
+// pump is the async (reactor) analogue of writer: it ships the outbox's
+// maximal ready prefix, then returns instead of parking. The connection's
+// event loop calls it whenever Kick signaled staged output. The pumping
+// flag admits one drainer at a time, so FIFO holds even if a stray kick
+// ever raced the owning loop; entries that become ready mid-batch are
+// picked up by the re-check (their Kick may find pumping set, but this
+// drainer clears the flag only after looking again).
+func (s *session) pump() {
+	s.mu.Lock()
+	for {
+		if s.pumping || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		n := 0
+		for n < len(s.outbox) && s.outbox[n].ready {
+			n++
+		}
+		if n == 0 {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.outbox[:n:n]
+		s.outbox = s.outbox[n:]
+		s.pumping = true
+		s.mu.Unlock()
+		ok := true
+		for _, e := range batch {
+			if err := s.conn.Send(&e.msg); err != nil {
+				ok = false // conn deposed/failed; its close path detaches us
+				break
+			}
+		}
+		if ok {
+			flushConn(s.conn)
+		}
+		s.mu.Lock()
+		s.pumping = false
+		if !ok {
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
 // OpenServer opens (creating if absent) the database in dir and recovers
 // from the log. The directory holds "data.db" and "wal.log".
 func OpenServer(dir string, opts ServerOptions) (*Server, error) {
 	opts.defaults()
+	if opts.Transport != TransportGoroutine && opts.Transport != TransportReactor {
+		return nil, fmt.Errorf("live: unknown transport %q (want %q or %q)",
+			opts.Transport, TransportGoroutine, TransportReactor)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -897,6 +1027,27 @@ func (s *Server) attach(conn Conn, internal bool) (core.ClientID, error) {
 	s.nextID++
 	id := s.nextID
 	sess := newSession(id, conn)
+	if ac, ok := conn.(asyncConn); ok {
+		// Reactor-driven session: no writer or serve goroutines. Inbound
+		// frames arrive as receiver callbacks on the connection's event
+		// loop (one loop owns a connection, so handle calls stay
+		// serialized exactly like a serve goroutine's); outbound entries
+		// are drained by pump on that same loop. Handlers are installed
+		// before the session is published and before the socket is
+		// registered with epoll, so no callback can beat them.
+		sess.async = true
+		ac.SetHandlers(
+			func(m *core.Msg, err error) {
+				if err != nil {
+					s.detach(sess.id)
+					return
+				}
+				m.From = sess.id
+				s.handle(sess, m, time.Now())
+			},
+			sess.pump,
+		)
+	}
 	old := *s.sessions.Load()
 	next := make(map[core.ClientID]*session, len(old)+1)
 	for k, v := range old {
@@ -905,7 +1056,9 @@ func (s *Server) attach(conn Conn, internal bool) (core.ClientID, error) {
 	next[id] = sess
 	s.sessions.Store(&next)
 	s.wal.SetDemand(len(next))
-	go sess.writer()
+	if !sess.async {
+		go sess.writer()
+	}
 	s.mu.Unlock()
 
 	pages, opp, objSize := s.Geometry()
@@ -925,8 +1078,10 @@ func (s *Server) attach(conn Conn, internal bool) (core.ClientID, error) {
 		HelloProto: s.opts.Proto, HelloVariable: s.opts.VariableObjects}
 	sess.enqueue(*hello) // first message on the session, ahead of any grant
 
-	s.wg.Add(1)
-	go s.serve(sess)
+	if !sess.async {
+		s.wg.Add(1)
+		go s.serve(sess)
+	}
 	return id, nil
 }
 
@@ -986,17 +1141,22 @@ func (s *Server) detach(id core.ClientID) {
 	}
 }
 
+// panicDump writes the flight-recorder blackbox for a handling-path
+// panic — the process is going down, so the dump comes first. Poisoning
+// closedFlag makes the registry's shard-summing gauges short-circuit, so
+// the dump cannot deadlock on a lock the panicking goroutine may hold.
+// Shared by the serve goroutines and the reactor's event loops.
+func (s *Server) panicDump(r any) {
+	s.closedFlag.Store(true)
+	s.flight.Dump(fmt.Sprintf("panic: %v", r), s.tracer, s.heat, s.spans, s.registry)
+}
+
 // serve pumps one session's incoming messages through the engine.
 func (s *Server) serve(sess *session) {
 	defer s.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			// A serve-path panic is a server bug and the process is going
-			// down: write the blackbox first. Poisoning closedFlag makes
-			// the registry's shard-summing gauges short-circuit, so the
-			// dump cannot deadlock on a lock this goroutine may hold.
-			s.closedFlag.Store(true)
-			s.flight.Dump(fmt.Sprintf("panic: %v", r), s.tracer, s.heat, s.spans, s.registry)
+			s.panicDump(r)
 			panic(r)
 		}
 	}()
@@ -1226,6 +1386,7 @@ func (s *Server) engineStep(sess *session, sh *engineShard, m *core.Msg) {
 //     flush-then-truncate (exclusive) cannot interleave with an
 //     append/install pair: a WAL record is only ever truncated after a
 //     store flush that covers its installs.
+//
 // It returns the group-commit durability wait so handle can keep the
 // commit's handleNs honest (processing time, not fsync scheduling).
 func (s *Server) finishTxnMsg(sess *session, m *core.Msg, rec *walRecord, frame []byte, queueDur, encodeDur time.Duration) (syncWait time.Duration) {
@@ -1614,14 +1775,41 @@ func sortedUpdateKeys(m map[core.ObjID][]byte) []core.ObjID {
 	return keys
 }
 
-// ListenAndServe accepts TCP connections on addr until Close.
+// ListenAndServe accepts TCP connections on addr until Close. The
+// per-session machinery behind each accepted socket is chosen by
+// ServerOptions.Transport; the handshake always runs on a short-lived
+// goroutine per accept (bounded by handshakeTimeout), so a slowloris
+// dialer that never sends its version byte cannot stall other accepts
+// under either transport.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	attach := s.attachGoroutine
+	transport := TransportGoroutine
+	if s.opts.Transport == TransportReactor {
+		if r, rerr := newReactor(s); rerr == nil {
+			s.reactor.Store(r)
+			attach = func(c net.Conn) { s.attachReactor(r, c) }
+			transport = TransportReactor
+		}
+		// else: no epoll on this platform — fall back cleanly to the
+		// goroutine transport; Conn semantics are identical.
+	}
 	s.mu.Lock()
+	if s.closed {
+		// Close already ran: it cannot have seen this listener or
+		// reactor, so tear them down here.
+		s.mu.Unlock()
+		ln.Close()
+		if r := s.reactor.Load(); r != nil {
+			r.shutdown()
+		}
+		return nil
+	}
 	s.ln = ln
+	s.transport = transport
 	s.mu.Unlock()
 	for {
 		c, err := ln.Accept()
@@ -1641,11 +1829,30 @@ func (s *Server) ListenAndServe(addr string) error {
 				c.Close()
 				return
 			}
-			if _, err := s.Attach(NewTCPConn(c)); err != nil {
-				c.Close()
-			}
+			attach(c)
 		}(c)
 	}
+}
+
+// attachGoroutine runs a handshaken connection on the classic
+// goroutine-per-connection transport.
+func (s *Server) attachGoroutine(c net.Conn) {
+	if _, err := s.Attach(NewTCPConn(c)); err != nil {
+		c.Close()
+	}
+}
+
+// Transport reports the transport in effect for TCP sessions: the
+// configured one, or the goroutine fallback when the reactor is
+// unsupported on this platform. Before ListenAndServe it reports the
+// configured transport.
+func (s *Server) Transport() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.transport != "" {
+		return s.transport
+	}
+	return s.opts.Transport
 }
 
 // Addr returns the TCP listen address, if listening.
@@ -1846,6 +2053,9 @@ func (s *Server) crashLocked(cause error) {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	if r := s.reactor.Load(); r != nil {
+		r.stop() // signal only: crashLocked may run ON a loop goroutine
+	}
 	for _, sess := range s.sessionMap() {
 		sess.close()
 		sess.conn.Close()
@@ -1870,6 +2080,9 @@ func (s *Server) Crash() error {
 	s.crashLocked(errors.New("live: server crashed (simulated)"))
 	s.mu.Unlock()
 	s.wg.Wait()
+	if r := s.reactor.Load(); r != nil {
+		r.shutdown()
+	}
 	if s.watchDone != nil {
 		<-s.watchDone
 	}
@@ -1898,6 +2111,12 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// A crash may have signaled the reactor without waiting for its
+		// loops (crashLocked can run on one); join them here so a crash
+		// followed by Close leaks nothing.
+		if r := s.reactor.Load(); r != nil {
+			r.shutdown()
+		}
 		return nil
 	}
 	s.closed = true
@@ -1918,6 +2137,12 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 
 	s.wg.Wait()
+	// Join the reactor loops before tearing the store and WAL down: a
+	// loop may be mid-handle (the async analogue of a serve goroutine),
+	// and acked work must land before files close.
+	if r := s.reactor.Load(); r != nil {
+		r.shutdown()
+	}
 	if s.watchDone != nil {
 		<-s.watchDone
 	}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,6 +40,19 @@ func flushConn(c Conn) {
 	if f, ok := c.(flusher); ok {
 		f.Flush()
 	}
+}
+
+// asyncConn is the push-mode transport contract the reactor conns
+// implement. Instead of a goroutine parked in Recv, the owner installs a
+// receiver callback (invoked once per inbound message, or once with a
+// terminal error) and a pump callback that drains the owner's outbox into
+// Send/Flush. Kick schedules the pump on the transport's event loop; it is
+// non-blocking and safe to call under any lock, so the server can request
+// output from inside the engine without doing wire work there.
+type asyncConn interface {
+	Conn
+	SetHandlers(recv func(m *core.Msg, err error), pump func())
+	Kick()
 }
 
 // ---- In-process transport ----
@@ -118,9 +132,11 @@ func (c *chanConn) Close() error {
 // desynchronizing mid-stream.
 const wireVersion byte = 1
 
-// handshakeTimeout bounds how long the server waits for the version byte
-// of a freshly accepted connection.
-const handshakeTimeout = 5 * time.Second
+// handshakeTimeout bounds both sides of the version handshake: how long
+// the server waits for the version byte of a freshly accepted connection,
+// and how long a dialer waits for its handshake write to go through. A
+// variable (not a const) so tests can shorten it.
+var handshakeTimeout = 5 * time.Second
 
 // tcpConn frames messages with the binary codec (codec.go) over a
 // net.Conn. Writes coalesce in a bufio.Writer and are flushed by a
@@ -164,14 +180,20 @@ func NewTCPConn(c net.Conn) Conn {
 
 // Dial connects to a live server at addr and presents the wire version.
 func Dial(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	c, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 	if err != nil {
 		return nil, err
 	}
+	// The handshake write gets the same deadline the server applies to the
+	// handshake read: a black-holed server (SYN accepted, nothing drained,
+	// send buffer full) must fail the dial so DialRetry's backoff runs,
+	// not hang the dialer forever.
+	c.SetWriteDeadline(time.Now().Add(handshakeTimeout))
 	if _, err := c.Write([]byte{wireVersion}); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("live: handshake write: %w", err)
 	}
+	c.SetWriteDeadline(time.Time{})
 	return NewTCPConn(c), nil
 }
 
@@ -256,6 +278,13 @@ func (t *tcpConn) flushLoop() {
 	}
 }
 
+// readBufKeep caps how much frame buffer a connection keeps pinned
+// between messages. Frames above the cap (a large VStore fetch, a page
+// burst) use a transient buffer the GC reclaims, so one big message does
+// not bloat an otherwise idle session forever — at 100k sessions a pinned
+// megabyte each is the whole machine.
+const readBufKeep = 64 << 10
+
 func (t *tcpConn) Recv() (*core.Msg, error) {
 	if _, err := io.ReadFull(t.br, t.hdrIn[:]); err != nil {
 		return nil, err
@@ -264,10 +293,15 @@ func (t *tcpConn) Recv() (*core.Msg, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("live: frame length %d exceeds limit", n)
 	}
-	if cap(t.readBuf) < int(n) {
-		t.readBuf = make([]byte, n)
+	var buf []byte
+	if n > readBufKeep {
+		buf = make([]byte, n) // transient: decodeMsg copies what it keeps
+	} else {
+		if cap(t.readBuf) < int(n) {
+			t.readBuf = make([]byte, n)
+		}
+		buf = t.readBuf[:n]
 	}
-	buf := t.readBuf[:n]
 	if _, err := io.ReadFull(t.br, buf); err != nil {
 		return nil, err
 	}
@@ -308,14 +342,31 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// jitterSeq decorrelates the seeds of jitter sources created in the same
+// clock tick. An atomic counter, not the global rand: a reconnect storm of
+// thousands of clients must not serialize on one mutex while computing the
+// very jitter meant to spread them out.
+var jitterSeq atomic.Int64
+
+// newJitterRand returns a cheap private source for one retry loop's
+// jitter draws. Unsynchronized by construction — each DialRetry or
+// reconnect loop owns its own — so a thousand concurrent backoffs never
+// contend.
+func newJitterRand() *rand.Rand {
+	seed := uint64(time.Now().UnixNano()) ^ (uint64(jitterSeq.Add(1)) * 0x9e3779b97f4a7c15)
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
 // jittered spreads a backoff step over [d/2, d) so that a herd of clients
-// reconnecting after one server hiccup does not re-dial in lockstep.
-func (p RetryPolicy) jittered(d time.Duration) time.Duration {
+// reconnecting after one server hiccup does not re-dial in lockstep. The
+// caller supplies its own source (newJitterRand) to keep the draw
+// lock-free.
+func (p RetryPolicy) jittered(rng *rand.Rand, d time.Duration) time.Duration {
 	if d <= 1 {
 		return d
 	}
 	half := int64(d) / 2
-	return time.Duration(half + rand.Int63n(half))
+	return time.Duration(half + rng.Int63n(half))
 }
 
 // DialRetry connects to a live server at addr, retrying transient dial
@@ -328,10 +379,11 @@ func DialRetry(addr string, policy RetryPolicy) (Conn, error) {
 		attempts = 5
 	}
 	delay := policy.BaseDelay
+	rng := newJitterRand()
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(policy.jittered(delay))
+			time.Sleep(policy.jittered(rng, delay))
 			if delay *= 2; delay > policy.MaxDelay {
 				delay = policy.MaxDelay
 			}

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -127,5 +128,132 @@ func TestTCPConnFraming(t *testing.T) {
 	// Oversized messages are refused at Send, not silently truncated.
 	if err := t1.Send(&core.Msg{Data: make([]byte, maxFrame+1)}); err == nil {
 		t.Fatal("oversized Send succeeded")
+	}
+}
+
+// TestDialNeverReadsServer: Dial's handshake write carries a deadline so
+// a black-holed server cannot hang the dialer — and the deadline is
+// CLEARED afterwards, so a long-lived connection's later writes are not
+// poisoned by a stale timer.
+func TestDialNeverReadsServer(t *testing.T) {
+	saved := handshakeTimeout
+	handshakeTimeout = 200 * time.Millisecond
+	defer func() { handshakeTimeout = saved }()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c // parked: nothing reads until the test says so
+	}()
+
+	start := time.Now()
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial against a never-reads server: %v", err)
+	}
+	defer conn.Close()
+	if el := time.Since(start); el > 3*handshakeTimeout {
+		t.Fatalf("Dial took %v; handshake write deadline not applied", el)
+	}
+
+	// Let the handshake deadline expire, then write. If Dial forgot to
+	// clear the deadline this Send/Flush fails with a timeout even though
+	// the peer is now draining.
+	time.Sleep(handshakeTimeout + 50*time.Millisecond)
+	srvEnd := <-accepted
+	defer srvEnd.Close()
+	go io.Copy(io.Discard, srvEnd)
+	if err := conn.Send(&core.Msg{Kind: core.MPageData, Data: make([]byte, 8192)}); err != nil {
+		t.Fatalf("Send after handshake deadline elapsed: %v", err)
+	}
+	if err := conn.(flusher).Flush(); err != nil {
+		t.Fatalf("Flush after handshake deadline elapsed: %v (stale write deadline?)", err)
+	}
+}
+
+// TestRecvReleasesLargeReadBuf: one huge frame must not pin a
+// frame-sized buffer on the connection for its whole lifetime; Recv
+// reads oversized frames through a transient buffer and keeps readBuf
+// capped at readBufKeep.
+func TestRecvReleasesLargeReadBuf(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	c1, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, receiver := NewTCPConn(c1), NewTCPConn(<-accepted)
+	defer sender.Close()
+	defer receiver.Close()
+
+	big := &core.Msg{Kind: core.MPageData, Txn: 7, Data: make([]byte, 256<<10)}
+	if err := sender.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != len(big.Data) {
+		t.Fatalf("round-tripped %d bytes, want %d", len(got.Data), len(big.Data))
+	}
+	tc := receiver.(*tcpConn)
+	if cap(tc.readBuf) > readBufKeep {
+		t.Fatalf("readBuf pinned at %d bytes after a %d-byte frame; must stay <= %d",
+			cap(tc.readBuf), len(big.Data), readBufKeep)
+	}
+
+	// Small frames after the big one still work (the transient path must
+	// not desynchronize the stream).
+	if err := sender.Send(&core.Msg{Kind: core.MGrant, Txn: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := receiver.Recv(); err != nil || m.Txn != 8 {
+		t.Fatalf("small frame after big: m=%+v err=%v", m, err)
+	}
+}
+
+// TestJitteredSpread: backoff jitter must stay in [d/2, d) and two
+// independently created sources must not draw in lockstep (the global
+// locked source is gone; each retry loop owns a private one).
+func TestJitteredSpread(t *testing.T) {
+	var p RetryPolicy
+	rng := newJitterRand()
+	const d = 100 * time.Millisecond
+	for i := 0; i < 2000; i++ {
+		j := p.jittered(rng, d)
+		if j < d/2 || j >= d {
+			t.Fatalf("draw %d: %v outside [%v, %v)", i, j, d/2, d)
+		}
+	}
+
+	a, b := newJitterRand(), newJitterRand()
+	same := 0
+	for i := 0; i < 16; i++ {
+		if p.jittered(a, d) == p.jittered(b, d) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("two jitter sources produced identical sequences; seeds not decorrelated")
 	}
 }

@@ -187,6 +187,12 @@ type ClusterOptions struct {
 	// snapshot + commit spans + metrics as JSONL) into this directory on
 	// a server panic or fail-stop. See ServerOptions.BlackboxDir.
 	BlackboxDir string
+	// Transport selects how Server.ListenAndServe owns TCP connections:
+	// "goroutine" (default) or "reactor" (epoll event loops; Linux).
+	// In-process clients attached via AttachClient use pipes either way;
+	// the transport matters only when the cluster's server also listens.
+	// See ServerOptions.Transport.
+	Transport string
 }
 
 // Cluster is an in-process server with a set of attached clients —
@@ -216,6 +222,7 @@ func NewCluster(dir string, opts ClusterOptions) (*Cluster, error) {
 		Recluster:       opts.Recluster,
 		ReclusterEvery:  opts.ReclusterEvery,
 		BlackboxDir:     opts.BlackboxDir,
+		Transport:       opts.Transport,
 	})
 	if err != nil {
 		return nil, err
